@@ -1,0 +1,220 @@
+// Package bigfoot is a Go implementation of the BigFoot dynamic data
+// race detector (Rhodes, Flanagan, Freund — PLDI 2017): precise race
+// detection with statically optimized check placement, coalesced checks,
+// and compressed shadow state.
+//
+// The package operates on BFJ programs (the paper's idealized Java-like
+// language, extended with the full-language features of the authors'
+// implementation).  The pipeline is:
+//
+//	prog, _ := bigfoot.Parse(src)              // BFJ source text
+//	inst := prog.Instrument(bigfoot.BigFoot)   // static check placement
+//	rep, _ := inst.Run(bigfoot.RunConfig{})    // execute + detect
+//	fmt.Println(rep.Races)
+//
+// Five detector configurations reproduce the paper's comparison:
+// FastTrack, RedCard, SlimState, SlimCard, and BigFoot.  See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the reproduced
+// evaluation.
+package bigfoot
+
+import (
+	"fmt"
+	"io"
+
+	"bigfoot/internal/analysis"
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/detector"
+	"bigfoot/internal/instrument"
+	"bigfoot/internal/interp"
+	"bigfoot/internal/proxy"
+)
+
+// Mode selects a detector configuration (Figure 2 of the paper).
+type Mode int
+
+// Detector modes.
+const (
+	// FastTrack checks every access against fine-grained shadow state.
+	FastTrack Mode = iota
+	// RedCard is FastTrack minus checks that are redundant within a
+	// release-free span, with static field proxy compression.
+	RedCard
+	// SlimState checks every access but defers array checks through
+	// per-thread footprints onto adaptively compressed shadow state.
+	SlimState
+	// SlimCard combines RedCard's check elimination with SlimState's
+	// dynamic array compression.
+	SlimCard
+	// BigFoot uses the full static check placement analysis: deferred,
+	// eliminated, and coalesced checks, plus field proxies and dynamic
+	// array compression.
+	BigFoot
+)
+
+var modeNames = map[Mode]string{
+	FastTrack: "FastTrack", RedCard: "RedCard", SlimState: "SlimState",
+	SlimCard: "SlimCard", BigFoot: "BigFoot",
+}
+
+// String names the mode.
+func (m Mode) String() string { return modeNames[m] }
+
+// Program is a parsed BFJ program.
+type Program struct {
+	ast *bfj.Program
+}
+
+// Parse parses BFJ source text.
+func Parse(src string) (*Program, error) {
+	p, err := bfj.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: p}, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Text renders the program in BFJ surface syntax.
+func (p *Program) Text() string { return bfj.FormatProgram(p.ast) }
+
+// AnalysisStats reports the static analysis cost of instrumentation.
+type AnalysisStats struct {
+	BodiesAnalyzed int
+	ChecksPlaced   int
+	CheckItems     int
+	AnalysisTime   float64 // seconds
+}
+
+// Instrumented is a program with race checks placed for a mode.
+type Instrumented struct {
+	Mode  Mode
+	Stats AnalysisStats
+
+	ast     *bfj.Program
+	proxies *proxy.Table
+}
+
+// Instrument places race checks according to the mode's placement
+// strategy.
+func (p *Program) Instrument(m Mode) *Instrumented {
+	out := &Instrumented{Mode: m}
+	switch m {
+	case FastTrack, SlimState:
+		prog, st := instrument.EveryAccess(p.ast)
+		out.ast = prog
+		out.Stats.ChecksPlaced = st.ChecksInserted
+	case RedCard, SlimCard:
+		prog, st := instrument.RedCard(p.ast)
+		out.ast = prog
+		out.Stats.ChecksPlaced = st.ChecksInserted
+		out.proxies = proxy.Analyze(prog)
+	case BigFoot:
+		an := analysis.New(p.ast, analysis.DefaultOptions())
+		out.ast = an.Instrument()
+		out.Stats = AnalysisStats{
+			BodiesAnalyzed: an.Stats.BodiesAnalyzed,
+			ChecksPlaced:   an.Stats.ChecksPlaced,
+			CheckItems:     an.Stats.CheckItems,
+			AnalysisTime:   an.Stats.AnalysisTime.Seconds(),
+		}
+		out.proxies = proxy.Analyze(out.ast)
+	}
+	return out
+}
+
+// Text renders the instrumented program (with explicit check statements)
+// in BFJ surface syntax.
+func (i *Instrumented) Text() string { return bfj.FormatProgram(i.ast) }
+
+// RunConfig controls an execution.
+type RunConfig struct {
+	// Seed drives the deterministic thread schedule.
+	Seed int64
+	// Out receives print-statement output (nil discards).
+	Out io.Writer
+	// MaxSteps bounds execution (0 = default).
+	MaxSteps uint64
+}
+
+// Race describes one reported data race.
+type Race struct {
+	// Location is a human-readable racy location, e.g. "Point#3.x/y/z"
+	// or "array#2[0..64:1]".
+	Location string
+	// Threads are the two racing thread ids.
+	Threads [2]int
+}
+
+// Report is the outcome of one detected execution.
+type Report struct {
+	Races []Race
+
+	// Dynamic cost counters.
+	Accesses     uint64
+	Checks       uint64
+	CheckRatio   float64
+	ShadowOps    uint64
+	FootprintOps uint64
+	ShadowWords  uint64
+}
+
+// Run executes the instrumented program under its mode's detector.
+func (i *Instrumented) Run(cfg RunConfig) (*Report, error) {
+	useFP := i.Mode == SlimState || i.Mode == SlimCard || i.Mode == BigFoot
+	d := detector.New(detector.Config{
+		Name:       i.Mode.String(),
+		Footprints: useFP,
+		Proxies:    i.proxies,
+	})
+	c, err := interp.Run(i.ast, d, interp.Options{Seed: cfg.Seed, Out: cfg.Out, MaxSteps: cfg.MaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Accesses:     c.Accesses(),
+		Checks:       c.CheckItems,
+		ShadowOps:    d.Stats.ShadowOps,
+		FootprintOps: d.Stats.FootprintOps,
+		ShadowWords:  d.Stats.PeakWords,
+	}
+	if rep.Accesses > 0 {
+		rep.CheckRatio = float64(rep.Checks) / float64(rep.Accesses)
+	}
+	for _, r := range d.Races() {
+		rep.Races = append(rep.Races, Race{Location: r.Desc, Threads: [2]int{r.PrevTID, r.CurTID}})
+	}
+	return rep, nil
+}
+
+// RunBase executes the original (uninstrumented) program, returning its
+// print output and basic counters — useful for overhead baselines.
+func (p *Program) RunBase(cfg RunConfig) (accesses uint64, err error) {
+	c, err := interp.Run(p.ast, interp.NopHook{}, interp.Options{Seed: cfg.Seed, Out: cfg.Out, MaxSteps: cfg.MaxSteps})
+	if err != nil {
+		return 0, err
+	}
+	return c.Accesses(), nil
+}
+
+// CheckRaces is the one-call convenience API: instrument with BigFoot
+// placement, run on the given schedule seed, and return the races.
+func CheckRaces(src string, seed int64) ([]Race, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	rep, err := p.Instrument(BigFoot).Run(RunConfig{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("run: %w", err)
+	}
+	return rep.Races, nil
+}

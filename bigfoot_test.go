@@ -1,0 +1,148 @@
+package bigfoot_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bigfoot"
+)
+
+const racySrc = `
+class Cell { field v; }
+setup { c = new Cell; }
+thread { c.v = 1; }
+thread { c.v = 2; }
+`
+
+const cleanSrc = `
+class Cell { field v; }
+setup { c = new Cell; l = new Cell; }
+thread { acquire l; c.v = 1; release l; }
+thread { acquire l; c.v = 2; release l; }
+`
+
+func TestCheckRacesConvenience(t *testing.T) {
+	races, err := bigfoot.CheckRaces(racySrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 1 {
+		t.Fatalf("races: %v", races)
+	}
+	if !strings.Contains(races[0].Location, "Cell#0.v") {
+		t.Errorf("location: %q", races[0].Location)
+	}
+
+	races, err = bigfoot.CheckRaces(cleanSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 0 {
+		t.Errorf("clean program reported races: %v", races)
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := bigfoot.Parse("setup { x = ; }"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := bigfoot.CheckRaces("class {", 0); err == nil {
+		t.Error("expected error from CheckRaces")
+	}
+}
+
+func TestAllModesRunAndAgree(t *testing.T) {
+	prog := bigfoot.MustParse(racySrc)
+	for _, m := range []bigfoot.Mode{
+		bigfoot.FastTrack, bigfoot.RedCard, bigfoot.SlimState,
+		bigfoot.SlimCard, bigfoot.BigFoot,
+	} {
+		rep, err := prog.Instrument(m).Run(bigfoot.RunConfig{Seed: 0})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(rep.Races) != 1 {
+			t.Errorf("%s found %d races, want 1", m, len(rep.Races))
+		}
+	}
+}
+
+func TestInstrumentedTextShowsChecks(t *testing.T) {
+	prog := bigfoot.MustParse(racySrc)
+	text := prog.Instrument(bigfoot.BigFoot).Text()
+	if !strings.Contains(text, "check write(c.v)") {
+		t.Errorf("instrumented text lacks the placed check:\n%s", text)
+	}
+	// The original program is unchanged.
+	if strings.Contains(prog.Text(), "check") {
+		t.Error("Instrument mutated the original program")
+	}
+}
+
+func TestRunConfigOutput(t *testing.T) {
+	prog := bigfoot.MustParse(`
+setup { print 1 + 2; }
+`)
+	var buf bytes.Buffer
+	if _, err := prog.Instrument(bigfoot.BigFoot).Run(bigfoot.RunConfig{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "3" {
+		t.Errorf("output %q", buf.String())
+	}
+}
+
+func TestRunBase(t *testing.T) {
+	prog := bigfoot.MustParse(racySrc)
+	acc, err := prog.RunBase(bigfoot.RunConfig{Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 2 {
+		t.Errorf("accesses = %d, want 2", acc)
+	}
+}
+
+func TestReportCounters(t *testing.T) {
+	src := `
+setup { a = newarray 100; }
+thread { for (i = 0; i < 100; i = i + 1) { a[i] = i; } }
+thread { x = 0; }
+`
+	prog := bigfoot.MustParse(src)
+	ft, err := prog.Instrument(bigfoot.FastTrack).Run(bigfoot.RunConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := prog.Instrument(bigfoot.BigFoot).Run(bigfoot.RunConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.CheckRatio != 1.0 {
+		t.Errorf("FastTrack ratio = %f", ft.CheckRatio)
+	}
+	if bf.CheckRatio > 0.1 {
+		t.Errorf("BigFoot ratio = %f, want near zero", bf.CheckRatio)
+	}
+	if bf.ShadowOps >= ft.ShadowOps {
+		t.Errorf("BF shadow ops %d should be below FT %d", bf.ShadowOps, ft.ShadowOps)
+	}
+}
+
+func TestAnalysisStatsExposed(t *testing.T) {
+	prog := bigfoot.MustParse(racySrc)
+	inst := prog.Instrument(bigfoot.BigFoot)
+	if inst.Stats.ChecksPlaced == 0 {
+		t.Error("BigFoot instrumentation should place checks")
+	}
+	if inst.Stats.BodiesAnalyzed == 0 {
+		t.Error("bodies analyzed not recorded")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if bigfoot.BigFoot.String() != "BigFoot" || bigfoot.FastTrack.String() != "FastTrack" {
+		t.Error("mode names wrong")
+	}
+}

@@ -1,0 +1,85 @@
+// Command bfbench regenerates the paper's evaluation artifacts: Figure 2
+// (detector comparison), Figure 8 (check ratios and relative overhead),
+// Table 1 (checker performance), and Table 2 (space overhead).
+//
+// Usage:
+//
+//	bfbench [-figure2] [-figure8] [-table1] [-table2] [-all]
+//	        [-scale N] [-threads T] [-trials K] [-seed S] [-program name]
+//
+// Without a selection flag, -all is assumed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bigfoot/internal/harness"
+	"bigfoot/internal/workloads"
+)
+
+func main() {
+	var (
+		fig2    = flag.Bool("figure2", false, "print Figure 2 (detector comparison + mean overhead)")
+		fig8    = flag.Bool("figure8", false, "print Figure 8 (check ratios, BF/FT overhead)")
+		tab1    = flag.Bool("table1", false, "print Table 1 (checker performance)")
+		tab2    = flag.Bool("table2", false, "print Table 2 (space overhead)")
+		all     = flag.Bool("all", false, "print every artifact")
+		scale   = flag.Int("scale", 1, "workload size multiplier")
+		threads = flag.Int("threads", 4, "worker threads per program")
+		trials  = flag.Int("trials", 3, "timing trials per configuration (median)")
+		seed    = flag.Int64("seed", 42, "scheduler seed")
+		program = flag.String("program", "", "run a single named workload")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+	if !*fig2 && !*fig8 && !*tab1 && !*tab2 {
+		*all = true
+	}
+
+	opts := harness.Options{
+		Scale:  workloads.Scale{N: *scale, T: *threads},
+		Seed:   *seed,
+		Trials: *trials,
+	}
+	r := &harness.Runner{Opts: opts}
+	if !*quiet {
+		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	var results []*harness.ProgramResult
+	var err error
+	if *program != "" {
+		w, ok := workloads.ByName(*program, opts.Scale)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown program %q\n", *program)
+			os.Exit(2)
+		}
+		var pr *harness.ProgramResult
+		pr, err = r.RunProgram(w)
+		if pr != nil {
+			results = append(results, pr)
+		}
+	} else {
+		results, err = r.RunAll()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *all || *fig2 {
+		fmt.Println(harness.Figure2(results))
+	}
+	if *all || *fig8 {
+		fmt.Println(harness.Figure8(results))
+	}
+	if *all || *tab1 {
+		fmt.Println(harness.Table1(results))
+		fmt.Println(harness.Table1Wall(results))
+	}
+	if *all || *tab2 {
+		fmt.Println(harness.Table2(results))
+	}
+}

@@ -1,0 +1,84 @@
+// Command bigfoot analyzes and runs a BFJ program with a chosen race
+// detector.
+//
+// Usage:
+//
+//	bigfoot [-mode bigfoot|fasttrack|redcard|slimstate|slimcard]
+//	        [-seed N] [-show] [-stats] file.bfj
+//
+// -show prints the instrumented program (with placed checks) instead of
+// running it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bigfoot"
+)
+
+var modes = map[string]bigfoot.Mode{
+	"fasttrack": bigfoot.FastTrack,
+	"ft":        bigfoot.FastTrack,
+	"redcard":   bigfoot.RedCard,
+	"rc":        bigfoot.RedCard,
+	"slimstate": bigfoot.SlimState,
+	"ss":        bigfoot.SlimState,
+	"slimcard":  bigfoot.SlimCard,
+	"sc":        bigfoot.SlimCard,
+	"bigfoot":   bigfoot.BigFoot,
+	"bf":        bigfoot.BigFoot,
+}
+
+func main() {
+	var (
+		modeName = flag.String("mode", "bigfoot", "detector: fasttrack|redcard|slimstate|slimcard|bigfoot")
+		seed     = flag.Int64("seed", 0, "schedule seed")
+		show     = flag.Bool("show", false, "print the instrumented program and exit")
+		stats    = flag.Bool("stats", false, "print check/shadow statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bigfoot [-mode M] [-seed N] [-show] [-stats] file.bfj")
+		os.Exit(2)
+	}
+	mode, ok := modes[strings.ToLower(*modeName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := bigfoot.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	inst := prog.Instrument(mode)
+	if *show {
+		fmt.Print(inst.Text())
+		return
+	}
+	rep, err := inst.Run(bigfoot.RunConfig{Seed: *seed, Out: os.Stdout})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runtime error: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "mode=%s accesses=%d checks=%d ratio=%.3f shadowOps=%d shadowWords=%d\n",
+			mode, rep.Accesses, rep.Checks, rep.CheckRatio, rep.ShadowOps, rep.ShadowWords)
+	}
+	if len(rep.Races) == 0 {
+		fmt.Fprintln(os.Stderr, "no races detected")
+		return
+	}
+	for _, r := range rep.Races {
+		fmt.Fprintf(os.Stderr, "RACE on %s between threads %d and %d\n", r.Location, r.Threads[0], r.Threads[1])
+	}
+	os.Exit(3)
+}

@@ -1,0 +1,39 @@
+// Moldyn runs the JavaGrande-style molecular dynamics workload under
+// all five detector configurations and prints the cost comparison —
+// a one-program miniature of the paper's Table 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bigfoot"
+	"bigfoot/internal/workloads"
+)
+
+func main() {
+	w, ok := workloads.ByName("moldyn", workloads.Scale{N: 1, T: 4})
+	if !ok {
+		log.Fatal("moldyn workload missing")
+	}
+	prog, err := bigfoot.Parse(w.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("moldyn: %s\n\n", w.Profile)
+	fmt.Printf("%-10s %10s %10s %8s %12s %12s %6s\n",
+		"detector", "accesses", "checks", "ratio", "shadowOps", "shadowWords", "races")
+	for _, mode := range []bigfoot.Mode{
+		bigfoot.FastTrack, bigfoot.RedCard, bigfoot.SlimState,
+		bigfoot.SlimCard, bigfoot.BigFoot,
+	} {
+		rep, err := prog.Instrument(mode).Run(bigfoot.RunConfig{Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10d %10d %8.3f %12d %12d %6d\n",
+			mode, rep.Accesses, rep.Checks, rep.CheckRatio,
+			rep.ShadowOps, rep.ShadowWords, len(rep.Races))
+	}
+}

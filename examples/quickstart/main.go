@@ -1,0 +1,81 @@
+// Quickstart: write a small racy BFJ program, check it with BigFoot,
+// fix it with a lock, and check again.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bigfoot"
+)
+
+const racy = `
+class Counter { field hits; }
+setup {
+  c = new Counter;
+}
+thread {
+  for (i = 0; i < 100; i = i + 1) {
+    h = c.hits;
+    c.hits = h + 1;
+  }
+}
+thread {
+  for (i = 0; i < 100; i = i + 1) {
+    h = c.hits;
+    c.hits = h + 1;
+  }
+}
+`
+
+const fixed = `
+class Counter { field hits; }
+setup {
+  c = new Counter;
+  lock = new Counter;
+}
+thread {
+  for (i = 0; i < 100; i = i + 1) {
+    acquire lock;
+    h = c.hits;
+    c.hits = h + 1;
+    release lock;
+  }
+}
+thread {
+  for (i = 0; i < 100; i = i + 1) {
+    acquire lock;
+    h = c.hits;
+    c.hits = h + 1;
+    release lock;
+  }
+}
+`
+
+func main() {
+	fmt.Println("=== racy counter ===")
+	races, err := bigfoot.CheckRaces(racy, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range races {
+		fmt.Printf("RACE on %s between threads %d and %d\n", r.Location, r.Threads[0], r.Threads[1])
+	}
+	if len(races) == 0 {
+		fmt.Println("(no race exposed on this schedule; try another seed)")
+	}
+
+	fmt.Println("\n=== lock-protected counter ===")
+	races, err = bigfoot.CheckRaces(fixed, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("races: %d\n", len(races))
+
+	// Show what the static analysis did to the racy program.
+	prog := bigfoot.MustParse(racy)
+	inst := prog.Instrument(bigfoot.BigFoot)
+	fmt.Println("\n=== BigFoot check placement ===")
+	fmt.Print(inst.Text())
+	fmt.Printf("\nstatic checks placed: %d\n", inst.Stats.ChecksPlaced)
+}

@@ -1,0 +1,3 @@
+module bigfoot
+
+go 1.22

@@ -1,0 +1,289 @@
+// Package analysis implements BigFoot's static check-placement algorithm
+// (Fig. 7 of the paper): a combined forward/backward intraprocedural
+// dataflow analysis over history contexts (boolean facts, past accesses
+// p✁, past checks p✓) and anticipated contexts (p✸), which defers,
+// eliminates, moves, and coalesces race checks.
+//
+// The implementation follows the multi-pass structure of §5:
+//
+//	pass 0  rename insertion (freshness of assignment targets)
+//	pass 1  forward history (boolean/alias facts and past accesses),
+//	        with loop-invariant inference by predicate abstraction
+//	pass 2  backward anticipated accesses
+//	pass 3  forward check placement and past-check facts, emitting the
+//	        instrumented method body
+//
+// Read and write accesses are distinguished throughout (§5): a write
+// check covers read and write accesses; a read check covers only reads.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/entail"
+	"bigfoot/internal/expr"
+)
+
+// Fact is a history fact: a boolean/alias expression, a past access p✁,
+// or a past check p✓.
+type Fact interface {
+	Key() string
+	isFact()
+}
+
+// BoolFact records a boolean or heap-alias expression known to hold.
+type BoolFact struct {
+	E expr.Expr
+}
+
+// AccessFact records a past access p✁ with no subsequent release.
+type AccessFact struct {
+	Kind bfj.AccessKind
+	Path expr.Path
+}
+
+// CheckFact records a past check p✓ with no subsequent release.
+type CheckFact struct {
+	Kind bfj.AccessKind
+	Path expr.Path
+}
+
+func (BoolFact) isFact()   {}
+func (AccessFact) isFact() {}
+func (CheckFact) isFact()  {}
+
+// Key returns a syntactic deduplication key.
+func (f BoolFact) Key() string { return "B:" + f.E.String() }
+
+// Key returns a syntactic deduplication key.
+func (f AccessFact) Key() string { return "A" + kindTag(f.Kind) + ":" + f.Path.String() }
+
+// Key returns a syntactic deduplication key.
+func (f CheckFact) Key() string { return "C" + kindTag(f.Kind) + ":" + f.Path.String() }
+
+func kindTag(k bfj.AccessKind) string {
+	if k == bfj.Write {
+		return "w"
+	}
+	return "r"
+}
+
+// String renders the fact in the paper's notation.
+func (f BoolFact) String() string { return f.E.String() }
+
+// String renders the fact in the paper's notation.
+func (f AccessFact) String() string { return f.Path.String() + "✁" + kindTag(f.Kind) }
+
+// String renders the fact in the paper's notation.
+func (f CheckFact) String() string { return f.Path.String() + "✓" + kindTag(f.Kind) }
+
+// AntFact is an anticipated access p✸: the continuation will access the
+// path with no intervening acquire.
+type AntFact struct {
+	Kind bfj.AccessKind
+	Path expr.Path
+}
+
+// Key returns a syntactic deduplication key.
+func (f AntFact) Key() string { return "T" + kindTag(f.Kind) + ":" + f.Path.String() }
+
+// String renders the fact in the paper's notation.
+func (f AntFact) String() string { return f.Path.String() + "✸" + kindTag(f.Kind) }
+
+// ---------------------------------------------------------------------------
+// History
+// ---------------------------------------------------------------------------
+
+// History is a set of facts H. The zero value is the empty history.
+// Histories are persistent: mutating operations return new values.
+type History struct {
+	facts map[string]Fact
+	// solver memoizes the entailment solver over the boolean facts; the
+	// cell is shared by copies of the same history value.
+	solver *solverCell
+}
+
+type solverCell struct{ s *entail.Solver }
+
+// NewHistory builds a history from the given facts.
+func NewHistory(facts ...Fact) History {
+	h := History{facts: map[string]Fact{}, solver: &solverCell{}}
+	for _, f := range facts {
+		h.facts[f.Key()] = f
+	}
+	return h
+}
+
+// Facts returns the facts in deterministic (key-sorted) order.
+func (h History) Facts() []Fact {
+	keys := make([]string, 0, len(h.facts))
+	for k := range h.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Fact, len(keys))
+	for i, k := range keys {
+		out[i] = h.facts[k]
+	}
+	return out
+}
+
+// Len returns the number of facts.
+func (h History) Len() int { return len(h.facts) }
+
+// Has reports syntactic membership.
+func (h History) Has(f Fact) bool {
+	if h.facts == nil {
+		return false
+	}
+	_, ok := h.facts[f.Key()]
+	return ok
+}
+
+// Add returns h ∪ {facts}.
+func (h History) Add(facts ...Fact) History {
+	n := History{facts: make(map[string]Fact, len(h.facts)+len(facts)), solver: &solverCell{}}
+	for k, f := range h.facts {
+		n.facts[k] = f
+	}
+	for _, f := range facts {
+		n.facts[f.Key()] = f
+	}
+	return n
+}
+
+// Filter returns the facts satisfying keep.
+func (h History) Filter(keep func(Fact) bool) History {
+	n := History{facts: map[string]Fact{}, solver: &solverCell{}}
+	for k, f := range h.facts {
+		if keep(f) {
+			n.facts[k] = f
+		}
+	}
+	return n
+}
+
+// Solver returns the entailment solver over the boolean facts of h,
+// memoized per history value.
+func (h History) Solver() *entail.Solver {
+	if h.solver != nil && h.solver.s != nil {
+		return h.solver.s
+	}
+	var es []expr.Expr
+	for _, f := range h.Facts() {
+		if b, ok := f.(BoolFact); ok {
+			es = append(es, b.E)
+		}
+	}
+	s := entail.New(es)
+	if h.solver != nil {
+		h.solver.s = s
+	}
+	return s
+}
+
+// String renders the history as {f1, f2, ...}.
+func (h History) String() string {
+	fs := h.Facts()
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = fmt.Sprint(f)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// AntSet is an anticipated set A.
+type AntSet struct {
+	facts map[string]AntFact
+}
+
+// NewAntSet builds an anticipated set.
+func NewAntSet(facts ...AntFact) AntSet {
+	a := AntSet{facts: map[string]AntFact{}}
+	for _, f := range facts {
+		a.facts[f.Key()] = f
+	}
+	return a
+}
+
+// Facts returns the anticipated facts in deterministic order.
+func (a AntSet) Facts() []AntFact {
+	keys := make([]string, 0, len(a.facts))
+	for k := range a.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]AntFact, len(keys))
+	for i, k := range keys {
+		out[i] = a.facts[k]
+	}
+	return out
+}
+
+// Len returns the number of facts.
+func (a AntSet) Len() int { return len(a.facts) }
+
+// Add returns a ∪ {facts}.
+func (a AntSet) Add(facts ...AntFact) AntSet {
+	n := AntSet{facts: make(map[string]AntFact, len(a.facts)+len(facts))}
+	for k, f := range a.facts {
+		n.facts[k] = f
+	}
+	for _, f := range facts {
+		n.facts[f.Key()] = f
+	}
+	return n
+}
+
+// Filter returns the facts satisfying keep.
+func (a AntSet) Filter(keep func(AntFact) bool) AntSet {
+	n := AntSet{facts: map[string]AntFact{}}
+	for k, f := range a.facts {
+		if keep(f) {
+			n.facts[k] = f
+		}
+	}
+	return n
+}
+
+// RemoveVar returns A \ x: all facts not mentioning x.
+func (a AntSet) RemoveVar(x expr.Var) AntSet {
+	return a.Filter(func(f AntFact) bool { return !expr.PathMentions(f.Path, x) })
+}
+
+// Subst returns A[x := e], dropping facts whose substitution is
+// ill-formed (per [Assign]).
+func (a AntSet) Subst(x expr.Var, e expr.Expr) AntSet {
+	n := AntSet{facts: map[string]AntFact{}}
+	for _, f := range a.facts {
+		p, ok := expr.SubstPath(f.Path, x, e)
+		if !ok {
+			continue
+		}
+		nf := AntFact{Kind: f.Kind, Path: p}
+		n.facts[nf.Key()] = nf
+	}
+	return n
+}
+
+// String renders the set.
+func (a AntSet) String() string {
+	fs := a.Facts()
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = f.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Ctx is a program-point context H•A.
+type Ctx struct {
+	H History
+	A AntSet
+}
+
+// String renders "H • A".
+func (c Ctx) String() string { return c.H.String() + " • " + c.A.String() }

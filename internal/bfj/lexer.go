@@ -1,0 +1,193 @@
+package bfj
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind enumerates token kinds produced by the lexer.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokPunct // any operator or delimiter; Text carries the spelling
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"class": true, "field": true, "volatile": true, "method": true,
+	"setup": true, "thread": true, "var": true, "new": true,
+	"newarray": true, "acquire": true, "release": true, "if": true,
+	"else": true, "while": true, "do": true, "for": true, "return": true,
+	"fork": true, "join": true, "check": true, "read": true, "write": true,
+	"loop": true, "break": true,
+	"print": true, "assert": true, "true": true, "false": true,
+	"alen": true,
+}
+
+type token struct {
+	Kind tokKind
+	Text string
+	Int  int64
+	Line int
+	Col  int
+}
+
+func (t token) String() string {
+	switch t.Kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("%d", t.Int)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// lexer converts BFJ source text into tokens.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) nextRune() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		r := l.peekRune()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.nextRune()
+		case r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekRune() != '\n' {
+				l.nextRune()
+			}
+		case r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			line, col := l.line, l.col
+			l.nextRune()
+			l.nextRune()
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf(line, col, "unterminated block comment")
+				}
+				if l.peekRune() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.nextRune()
+					l.nextRune()
+					break
+				}
+				l.nextRune()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// twoCharPuncts are the multi-rune operators, longest match first.
+var twoCharPuncts = []string{"<-", "..", "==", "!=", "<=", ">=", "&&", "||"}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{Kind: tokEOF, Line: line, Col: col}, nil
+	}
+	r := l.peekRune()
+	switch {
+	case unicode.IsLetter(r) || r == '_' || r == '$':
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekRune()
+			if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '$' || c == '\'' {
+				l.nextRune()
+			} else {
+				break
+			}
+		}
+		text := string(l.src[start:l.pos])
+		k := tokIdent
+		if keywords[text] {
+			k = tokKeyword
+		}
+		return token{Kind: k, Text: text, Line: line, Col: col}, nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peekRune()) {
+			l.nextRune()
+		}
+		// Reject "1..2" mis-lexing: stop before "..".
+		text := string(l.src[start:l.pos])
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token{}, l.errf(line, col, "bad integer literal %q", text)
+		}
+		return token{Kind: tokInt, Int: v, Text: text, Line: line, Col: col}, nil
+	default:
+		if l.pos+1 < len(l.src) {
+			two := string(l.src[l.pos : l.pos+2])
+			for _, p := range twoCharPuncts {
+				if two == p {
+					l.nextRune()
+					l.nextRune()
+					return token{Kind: tokPunct, Text: p, Line: line, Col: col}, nil
+				}
+			}
+		}
+		switch r {
+		case '{', '}', '(', ')', '[', ']', ';', ',', '.', '=', '+', '-', '*', '/', '%', '<', '>', '!', ':':
+			l.nextRune()
+			return token{Kind: tokPunct, Text: string(r), Line: line, Col: col}, nil
+		}
+		return token{}, l.errf(line, col, "unexpected character %q", string(r))
+	}
+}
+
+// lexAll tokenizes the whole input (the parser uses lookahead over the
+// full slice).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package bfj
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a statement in BFJ surface syntax (single line for
+// simple statements).
+func Format(s Stmt) string {
+	var b strings.Builder
+	writeStmt(&b, s, 0)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// FormatBlock renders a block with the given indentation level.
+func FormatBlock(blk *Block, indent int) string {
+	var b strings.Builder
+	for _, s := range blk.Stmts {
+		writeStmt(&b, s, indent)
+	}
+	return b.String()
+}
+
+// FormatProgram renders a whole program.
+func FormatProgram(p *Program) string {
+	var b strings.Builder
+	for _, c := range p.Classes {
+		fmt.Fprintf(&b, "class %s {\n", c.Name)
+		for _, f := range c.Fields {
+			if f.Volatile {
+				fmt.Fprintf(&b, "  volatile field %s;\n", f.Name)
+			} else {
+				fmt.Fprintf(&b, "  field %s;\n", f.Name)
+			}
+		}
+		for _, m := range c.Methods {
+			params := make([]string, 0, len(m.Params))
+			for _, pv := range m.Params[1:] { // skip implicit this
+				params = append(params, string(pv))
+			}
+			fmt.Fprintf(&b, "  method %s(%s) {\n", m.Name, strings.Join(params, ", "))
+			b.WriteString(FormatBlock(m.Body, 2))
+			if m.Ret != "" {
+				fmt.Fprintf(&b, "    return %s;\n", m.Ret)
+			}
+			b.WriteString("  }\n")
+		}
+		b.WriteString("}\n")
+	}
+	if p.Setup != nil && len(p.Setup.Stmts) > 0 {
+		b.WriteString("setup {\n")
+		b.WriteString(FormatBlock(p.Setup, 1))
+		b.WriteString("}\n")
+	}
+	for _, t := range p.Threads {
+		b.WriteString("thread {\n")
+		b.WriteString(FormatBlock(t, 1))
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func ind(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func writeStmt(b *strings.Builder, s Stmt, n int) {
+	ind(b, n)
+	switch x := s.(type) {
+	case *Assign:
+		fmt.Fprintf(b, "%s = %s;\n", x.X, x.E)
+	case *Rename:
+		fmt.Fprintf(b, "%s <- %s;\n", x.X, x.Y)
+	case *New:
+		fmt.Fprintf(b, "%s = new %s;\n", x.X, x.Class)
+	case *NewArray:
+		fmt.Fprintf(b, "%s = newarray %s;\n", x.X, x.Size)
+	case *FieldRead:
+		fmt.Fprintf(b, "%s = %s.%s;\n", x.X, x.Y, x.F)
+	case *FieldWrite:
+		fmt.Fprintf(b, "%s.%s = %s;\n", x.Y, x.F, x.E)
+	case *ArrayRead:
+		fmt.Fprintf(b, "%s = %s[%s];\n", x.X, x.Y, x.Z)
+	case *ArrayWrite:
+		fmt.Fprintf(b, "%s[%s] = %s;\n", x.Y, x.Z, x.E)
+	case *Acquire:
+		fmt.Fprintf(b, "acquire %s;\n", x.L)
+	case *Release:
+		fmt.Fprintf(b, "release %s;\n", x.L)
+	case *If:
+		fmt.Fprintf(b, "if (%s) {\n", x.Cond)
+		b.WriteString(FormatBlock(x.Then, n+1))
+		ind(b, n)
+		if len(x.Else.Stmts) > 0 {
+			b.WriteString("} else {\n")
+			b.WriteString(FormatBlock(x.Else, n+1))
+			ind(b, n)
+		}
+		b.WriteString("}\n")
+	case *Loop:
+		b.WriteString("loop {\n")
+		b.WriteString(FormatBlock(x.Pre, n+1))
+		ind(b, n+1)
+		fmt.Fprintf(b, "if (%s) break;\n", x.Cond)
+		b.WriteString(FormatBlock(x.Post, n+1))
+		ind(b, n)
+		b.WriteString("}\n")
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = a.String()
+		}
+		if x.X != "" {
+			fmt.Fprintf(b, "%s = %s.%s(%s);\n", x.X, x.Y, x.M, strings.Join(args, ", "))
+		} else {
+			fmt.Fprintf(b, "%s.%s(%s);\n", x.Y, x.M, strings.Join(args, ", "))
+		}
+	case *Fork:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = a.String()
+		}
+		fmt.Fprintf(b, "%s = fork %s.%s(%s);\n", x.X, x.Y, x.M, strings.Join(args, ", "))
+	case *Join:
+		fmt.Fprintf(b, "join %s;\n", x.X)
+	case *Check:
+		items := make([]string, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = fmt.Sprintf("%s(%s)", it.Kind, it.Path)
+		}
+		fmt.Fprintf(b, "check %s;\n", strings.Join(items, ", "))
+	case *Print:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = a.String()
+		}
+		fmt.Fprintf(b, "print %s;\n", strings.Join(args, ", "))
+	case *Assert:
+		fmt.Fprintf(b, "assert %s;\n", x.Cond)
+	default:
+		fmt.Fprintf(b, "/* unknown %T */\n", s)
+	}
+}

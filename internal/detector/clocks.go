@@ -1,0 +1,148 @@
+package detector
+
+import (
+	"bigfoot/internal/interp"
+	"bigfoot/internal/vc"
+)
+
+// clocks maintains the per-thread vector clocks and the release/acquire
+// protocol shared by all detectors and the oracle.
+type clocks struct {
+	vcs  []vc.VC
+	ends []vc.VC
+	vols map[volKey]vc.VC
+}
+
+type volKey struct {
+	obj   *interp.Object
+	field string
+}
+
+// lockShadow is the detector-owned state attached to an object used as
+// a lock.
+type lockShadow struct{ v vc.VC }
+
+func (c *clocks) now(t int) vc.VC {
+	c.grow(t)
+	return c.vcs[t]
+}
+
+func (c *clocks) grow(t int) {
+	for len(c.vcs) <= t {
+		id := len(c.vcs)
+		v := vc.New(id + 1)
+		v.Set(id, 1)
+		c.vcs = append(c.vcs, v)
+		c.ends = append(c.ends, vc.VC{})
+	}
+}
+
+func (c *clocks) fork(parent, child int) {
+	c.grow(parent)
+	c.grow(child)
+	nv := c.vcs[parent].Copy()
+	nv.Set(child, c.vcs[child].Get(child))
+	c.vcs[child] = nv
+	c.vcs[parent].Tick(parent)
+}
+
+func (c *clocks) end(t int) {
+	c.grow(t)
+	c.ends[t] = c.vcs[t].Copy()
+}
+
+func (c *clocks) join(parent, child int) {
+	c.grow(parent)
+	c.grow(child)
+	end := c.ends[child]
+	if end.Len() == 0 {
+		end = c.vcs[child]
+	}
+	c.vcs[parent].Join(end)
+}
+
+func (c *clocks) lockVC(lock *interp.Object) *lockShadow {
+	if s, ok := lockState(lock); ok {
+		return s
+	}
+	s := &lockShadow{}
+	setLockState(lock, s)
+	return s
+}
+
+func (c *clocks) acquire(t int, lock *interp.Object) {
+	c.grow(t)
+	c.vcs[t].Join(c.lockVC(lock).v)
+}
+
+func (c *clocks) release(t int, lock *interp.Object) {
+	c.grow(t)
+	c.lockVC(lock).v = c.vcs[t].Copy()
+	c.vcs[t].Tick(t)
+}
+
+func (c *clocks) volRead(t int, o *interp.Object, f string) {
+	c.grow(t)
+	if c.vols == nil {
+		c.vols = map[volKey]vc.VC{}
+	}
+	c.vcs[t].Join(c.vols[volKey{o, f}])
+}
+
+func (c *clocks) volWrite(t int, o *interp.Object, f string) {
+	c.grow(t)
+	if c.vols == nil {
+		c.vols = map[volKey]vc.VC{}
+	}
+	k := volKey{o, f}
+	v := c.vols[k]
+	v.Join(c.vcs[t])
+	c.vols[k] = v
+	c.vcs[t].Tick(t)
+}
+
+// words reports clock storage for the space census (thread and lock
+// clocks are common to all detectors; per-location state dominates).
+func (c *clocks) words() int {
+	w := 0
+	for _, v := range c.vcs {
+		w += v.Words()
+	}
+	for _, v := range c.vols {
+		w += v.Words()
+	}
+	return w
+}
+
+// The lock's vector clock lives in detector-owned space; locks are also
+// plain objects, whose field shadow may coexist.  Pack both in a small
+// struct stored in Object.Shadow.
+type shadowPair struct {
+	lock *lockShadow
+	obj  *objShadow
+}
+
+func lockState(o *interp.Object) (*lockShadow, bool) {
+	switch s := o.Shadow.(type) {
+	case *lockShadow:
+		return s, true
+	case *shadowPair:
+		if s.lock != nil {
+			return s.lock, true
+		}
+	}
+	return nil, false
+}
+
+func setLockState(o *interp.Object, ls *lockShadow) {
+	switch s := o.Shadow.(type) {
+	case nil:
+		o.Shadow = ls
+	case *objShadow:
+		o.Shadow = &shadowPair{lock: ls, obj: s}
+	case *shadowPair:
+		s.lock = ls
+	default:
+		o.Shadow = ls
+	}
+}

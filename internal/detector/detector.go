@@ -1,0 +1,381 @@
+// Package detector implements the five precise dynamic race detectors
+// evaluated in the paper — FastTrack (FT), RedCard (RC), SlimState (SS),
+// SlimCard (SC), and BigFoot (BF) — plus a DJIT+/FastTrack-style oracle
+// over raw accesses used as ground truth in precision tests.
+//
+// Each detector is the same check-driven engine with two feature flags
+// (Figure 2 of the paper):
+//
+//	            check placement          footprints+array   field
+//	            (instrument pkg)         compression        proxies
+//	FT          every access             no                 no
+//	RC          redundant-check elim.    no                 yes
+//	SS          every access             yes                no
+//	SC          redundant-check elim.    yes                yes
+//	BF          BigFoot static placement yes                yes
+//
+// The engine consumes check events (CheckField/CheckRange) and
+// synchronization events from the interpreter; it never looks at raw
+// accesses (those feed the oracle only).
+package detector
+
+import (
+	"fmt"
+	"sort"
+
+	"bigfoot/internal/footprint"
+	"bigfoot/internal/interp"
+	"bigfoot/internal/proxy"
+	"bigfoot/internal/shadow"
+)
+
+// Config selects a detector variant.
+type Config struct {
+	// Name labels the detector in reports.
+	Name string
+	// Footprints enables per-thread array footprints committed at
+	// synchronization operations, with adaptively compressed array
+	// shadow state (SlimState §4).
+	Footprints bool
+	// PeriodicCommit, when positive, additionally commits a thread's
+	// footprint after that many appended checks — the §3.3 mitigation
+	// for potentially non-terminating loops, whose deferred checks
+	// would otherwise never commit.  0 disables (the paper's default:
+	// loops are assumed to terminate).
+	PeriodicCommit int
+	// Proxies enables static field proxy compression; nil disables.
+	Proxies *proxy.Table
+}
+
+// Race is a reported data race.
+type Race struct {
+	Desc     string // human-readable location, e.g. "Point#3.x/y/z"
+	PrevTID  int
+	CurTID   int
+	ObjID    int    // -1 for array races
+	Field    string // group representative ("" for array races)
+	ArrayID  int    // -1 for field races
+	Lo, Hi   int    // racy committed range (arrays)
+	Step     int
+	ClassTag string
+}
+
+// Stats are the dynamic cost counters of one run.
+type Stats struct {
+	ShadowOps    uint64 // check-and-update operations on shadow locations
+	FootprintOps uint64 // footprint append operations
+	SyncOps      uint64
+	ShadowWords  uint64 // current shadow memory, 64-bit words
+	PeakWords    uint64
+	Refinements  int // array representation changes
+}
+
+// Detector is the check-driven dynamic race detection engine.
+type Detector struct {
+	interp.NopHook
+	cfg Config
+
+	clk clocks
+
+	fps []*footprint.Footprint
+
+	// Shadow registries for the space census.
+	objShadows []*objShadow
+	arrFine    []*fineArray
+	arrComp    []*shadow.ArrayShadow
+	arrByID    map[int]*interp.Array
+
+	races    []Race
+	raceKeys map[string]bool
+
+	Stats Stats
+
+	censusCountdown int
+}
+
+type objShadow struct {
+	obj    *interp.Object
+	states map[string]*shadow.State
+}
+
+type fineArray struct {
+	arr    *interp.Array
+	states []shadow.State
+}
+
+// New creates a detector with the given configuration.
+func New(cfg Config) *Detector {
+	return &Detector{
+		cfg:      cfg,
+		arrByID:  map[int]*interp.Array{},
+		raceKeys: map[string]bool{},
+	}
+}
+
+// Races returns the deduplicated race reports.
+func (d *Detector) Races() []Race { return d.races }
+
+// RaceCount returns the number of distinct races found.
+func (d *Detector) RaceCount() int { return len(d.races) }
+
+func (d *Detector) fp(t int) *footprint.Footprint {
+	for len(d.fps) <= t {
+		d.fps = append(d.fps, footprint.New())
+	}
+	return d.fps[t]
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization events
+// ---------------------------------------------------------------------------
+
+// Fork implements interp.Hook.
+func (d *Detector) Fork(parent, child int) {
+	d.sync(parent)
+	d.clk.fork(parent, child)
+}
+
+// ThreadEnd implements interp.Hook.
+func (d *Detector) ThreadEnd(t int) {
+	d.sync(t)
+	d.clk.end(t)
+}
+
+// Join implements interp.Hook.
+func (d *Detector) Join(parent, child int) {
+	d.sync(parent)
+	d.clk.join(parent, child)
+}
+
+// Acquire implements interp.Hook.
+func (d *Detector) Acquire(t int, lock *interp.Object) {
+	d.sync(t)
+	d.clk.acquire(t, lock)
+}
+
+// Release implements interp.Hook.
+func (d *Detector) Release(t int, lock *interp.Object) {
+	d.sync(t)
+	d.clk.release(t, lock)
+}
+
+// VolRead implements interp.Hook.
+func (d *Detector) VolRead(t int, o *interp.Object, f string) {
+	d.sync(t)
+	d.clk.volRead(t, o, f)
+}
+
+// VolWrite implements interp.Hook.
+func (d *Detector) VolWrite(t int, o *interp.Object, f string) {
+	d.sync(t)
+	d.clk.volWrite(t, o, f)
+}
+
+// Finish implements interp.Hook.
+func (d *Detector) Finish() {
+	for t := range d.fps {
+		d.commit(t)
+	}
+	d.census()
+}
+
+// sync commits the thread's pending footprint (the deferred checks
+// belong to the epoch before the synchronization) and periodically
+// samples shadow memory.
+func (d *Detector) sync(t int) {
+	d.Stats.SyncOps++
+	if d.cfg.Footprints {
+		d.commit(t)
+	}
+	d.censusCountdown--
+	if d.censusCountdown <= 0 {
+		d.censusCountdown = 256
+		d.census()
+	}
+}
+
+func (d *Detector) commit(t int) {
+	if t >= len(d.fps) || !d.fps[t].Pending() {
+		return
+	}
+	now := d.clk.now(t)
+	d.fps[t].Drain(func(arrayID int, e footprint.Entry) {
+		a := d.arrByID[arrayID]
+		sh := d.compShadow(a)
+		races, ops := sh.Commit(e.Write, t, now, e.Lo, e.Hi, e.Step)
+		d.Stats.ShadowOps += ops
+		for _, r := range races {
+			d.reportArrayRace(r, a, e)
+		}
+	})
+	d.Stats.FootprintOps += d.fps[t].AppendOps
+	d.fps[t].AppendOps = 0
+}
+
+// ---------------------------------------------------------------------------
+// Check events
+// ---------------------------------------------------------------------------
+
+// CheckField implements interp.Hook: one shadow operation per proxy
+// group touched by the (possibly coalesced) check.
+func (d *Detector) CheckField(t int, write bool, o *interp.Object, fields []string) {
+	var keys []string
+	if d.cfg.Proxies != nil {
+		keys = d.cfg.Proxies.GroupsOf(fields)
+	} else {
+		keys = fields
+	}
+	sh := d.objShadow(o)
+	now := d.clk.now(t)
+	for _, k := range keys {
+		st := sh.states[k]
+		if st == nil {
+			st = &shadow.State{}
+			sh.states[k] = st
+		}
+		if r := st.Apply(write, t, now); r != nil {
+			d.reportFieldRace(r, o, k)
+		}
+		d.Stats.ShadowOps++
+	}
+}
+
+// CheckRange implements interp.Hook.
+func (d *Detector) CheckRange(t int, write bool, a *interp.Array, lo, hi, step int) {
+	if d.cfg.Footprints {
+		d.arrByID[a.ID] = a
+		f := d.fp(t)
+		f.Add(a.ID, lo, hi, step, write)
+		if d.cfg.PeriodicCommit > 0 && f.AppendOps >= uint64(d.cfg.PeriodicCommit) {
+			d.commit(t)
+		}
+		return
+	}
+	// Fine-grained mode (FT/RC): one shadow location per element.
+	sh := d.fineShadow(a)
+	now := d.clk.now(t)
+	for i := lo; i < hi; i += step {
+		if r := sh.states[i].Apply(write, t, now); r != nil {
+			d.reportArrayRace(r, a, footprint.Entry{Lo: i, Hi: i + 1, Step: 1, Write: write})
+		}
+		d.Stats.ShadowOps++
+	}
+}
+
+func (d *Detector) objShadow(o *interp.Object) *objShadow {
+	switch s := o.Shadow.(type) {
+	case *objShadow:
+		return s
+	case *shadowPair:
+		if s.obj != nil {
+			return s.obj
+		}
+		ns := &objShadow{obj: o, states: map[string]*shadow.State{}}
+		s.obj = ns
+		d.objShadows = append(d.objShadows, ns)
+		return ns
+	case *lockShadow:
+		ns := &objShadow{obj: o, states: map[string]*shadow.State{}}
+		o.Shadow = &shadowPair{lock: s, obj: ns}
+		d.objShadows = append(d.objShadows, ns)
+		return ns
+	}
+	s := &objShadow{obj: o, states: map[string]*shadow.State{}}
+	o.Shadow = s
+	d.objShadows = append(d.objShadows, s)
+	return s
+}
+
+func (d *Detector) fineShadow(a *interp.Array) *fineArray {
+	if s, ok := a.Shadow.(*fineArray); ok {
+		return s
+	}
+	s := &fineArray{arr: a, states: make([]shadow.State, a.Len())}
+	a.Shadow = s
+	d.arrFine = append(d.arrFine, s)
+	return s
+}
+
+func (d *Detector) compShadow(a *interp.Array) *shadow.ArrayShadow {
+	if s, ok := a.Shadow.(*shadow.ArrayShadow); ok {
+		return s
+	}
+	s := shadow.NewArrayShadow(a.Len())
+	a.Shadow = s
+	d.arrComp = append(d.arrComp, s)
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Race reporting
+// ---------------------------------------------------------------------------
+
+func (d *Detector) reportFieldRace(r *shadow.Race, o *interp.Object, key string) {
+	desc := fmt.Sprintf("%s#%d.%s", o.Class.Name, o.ID, key)
+	if d.raceKeys[desc] {
+		return
+	}
+	d.raceKeys[desc] = true
+	d.races = append(d.races, Race{
+		Desc: desc, PrevTID: r.PrevTID, CurTID: r.CurTID,
+		ObjID: o.ID, Field: key, ArrayID: -1, ClassTag: o.Class.Name,
+	})
+}
+
+func (d *Detector) reportArrayRace(r *shadow.Race, a *interp.Array, e footprint.Entry) {
+	desc := fmt.Sprintf("array#%d[%d..%d:%d]", a.ID, e.Lo, e.Hi, e.Step)
+	if d.raceKeys[desc] {
+		return
+	}
+	d.raceKeys[desc] = true
+	d.races = append(d.races, Race{
+		Desc: desc, PrevTID: r.PrevTID, CurTID: r.CurTID,
+		ObjID: -1, ArrayID: a.ID, Lo: e.Lo, Hi: e.Hi, Step: e.Step,
+	})
+}
+
+// census recomputes shadow memory usage and updates the peak.
+func (d *Detector) census() {
+	var words uint64
+	for _, s := range d.objShadows {
+		for _, st := range s.states {
+			words += uint64(st.Words())
+		}
+	}
+	for _, s := range d.arrFine {
+		for i := range s.states {
+			words += uint64(s.states[i].Words())
+		}
+	}
+	var refinements int
+	for _, s := range d.arrComp {
+		words += uint64(s.Words())
+		refinements += s.Refinements
+	}
+	words += uint64(d.clk.words())
+	d.Stats.ShadowWords = words
+	d.Stats.Refinements = refinements
+	if words > d.Stats.PeakWords {
+		d.Stats.PeakWords = words
+	}
+}
+
+// ArrayModes summarizes final array shadow representations (for
+// diagnostics and ablation reporting).
+func (d *Detector) ArrayModes() map[string]int {
+	out := map[string]int{}
+	for _, s := range d.arrComp {
+		out[s.Mode().String()]++
+	}
+	return out
+}
+
+// SortedRaceDescs returns race descriptions sorted (stable test output).
+func (d *Detector) SortedRaceDescs() []string {
+	out := make([]string, len(d.races))
+	for i, r := range d.races {
+		out[i] = r.Desc
+	}
+	sort.Strings(out)
+	return out
+}

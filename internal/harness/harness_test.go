@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"bigfoot/internal/workloads"
+)
+
+func runTwo(t *testing.T) []*ProgramResult {
+	t.Helper()
+	r := &Runner{Opts: Options{Scale: workloads.Scale{N: 1, T: 2}, Seed: 7, Trials: 1}}
+	var out []*ProgramResult
+	for _, name := range []string{"crypt", "tomcat"} {
+		w, ok := workloads.ByName(name, r.Opts.Scale)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		pr, err := r.RunProgram(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+func TestRunProgramInvariants(t *testing.T) {
+	for _, pr := range runTwo(t) {
+		if pr.Accesses == 0 || pr.BaseWords == 0 {
+			t.Errorf("%s: empty base counters: %+v", pr.Name, pr)
+		}
+		ft := pr.Detectors["FT"]
+		bf := pr.Detectors["BF"]
+		if ft == nil || bf == nil {
+			t.Fatalf("%s: missing detectors", pr.Name)
+		}
+		if ft.CheckRatio < 0.999 || ft.CheckRatio > 1.001 {
+			t.Errorf("%s: FT check ratio = %f, want 1", pr.Name, ft.CheckRatio)
+		}
+		if bf.CheckRatio >= ft.CheckRatio {
+			t.Errorf("%s: BF ratio %f not below FT %f", pr.Name, bf.CheckRatio, ft.CheckRatio)
+		}
+		if bf.Overhead >= ft.Overhead {
+			t.Errorf("%s: BF modeled overhead %f not below FT %f", pr.Name, bf.Overhead, ft.Overhead)
+		}
+		for _, d := range pr.Detectors {
+			if d.Races != 0 {
+				t.Errorf("%s/%s: benchmark workloads must be race free, got %d races",
+					pr.Name, d.Name, d.Races)
+			}
+		}
+		// Figure 8 split sums to the detector's executed checks ratio.
+		sum := ratio(pr.BFFieldChecks+pr.BFArrayChecks, pr.Accesses)
+		if diff := sum - bf.CheckRatio; diff > 0.001 || diff < -0.001 {
+			t.Errorf("%s: field+array split %f != ratio %f", pr.Name, sum, bf.CheckRatio)
+		}
+	}
+}
+
+func TestReportsRenderAllPrograms(t *testing.T) {
+	rs := runTwo(t)
+	for _, render := range []func([]*ProgramResult) string{Figure2, Figure8, Table1, Table1Wall, Table2, Summary} {
+		text := render(rs)
+		for _, pr := range rs {
+			if render == nil {
+				continue
+			}
+			if !strings.Contains(text, pr.Name) && !strings.Contains(text, "Detector") {
+				t.Errorf("report missing %s:\n%s", pr.Name, text)
+			}
+		}
+		if strings.Contains(text, "%!") {
+			t.Errorf("formatting directive leaked:\n%s", text)
+		}
+	}
+}
+
+func TestGeoMeanAndMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); g < 1.99 || g > 2.01 {
+		t.Errorf("GeoMean(1,4) = %f", g)
+	}
+	if m := Mean([]float64{1, 3}); m != 2 {
+		t.Errorf("Mean(1,3) = %f", m)
+	}
+	if GeoMean(nil) != 0 || Mean(nil) != 0 {
+		t.Error("empty aggregates should be 0")
+	}
+	// Near-zero entries are clamped, not fatal.
+	if g := GeoMean([]float64{0, 1}); g <= 0 {
+		t.Errorf("clamped geomean = %f", g)
+	}
+}
+
+func TestModelOverheadFormula(t *testing.T) {
+	// 100 checks, 100 shadow ops, 0 footprint, 0 sync over 1000 steps:
+	// (100*3 + 100*15) / 1000 = 1.8.
+	got := modelOverhead(100, 100, 0, 0, 1000)
+	if got < 1.79 || got > 1.81 {
+		t.Errorf("modelOverhead = %f", got)
+	}
+	if modelOverhead(1, 1, 1, 1, 0) != 0 {
+		t.Error("zero base steps must not divide")
+	}
+}

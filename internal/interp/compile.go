@@ -1,0 +1,594 @@
+package interp
+
+import (
+	"fmt"
+
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/expr"
+)
+
+// This file implements the closure-compilation layer: each body (setup,
+// thread block, or method) is compiled once into a tree of closures
+// over integer variable slots, replacing per-statement AST dispatch and
+// per-variable map lookups.  This keeps base interpretation fast enough
+// that detector work dominates measured overheads, as it does on the
+// paper's JVM testbed.
+
+// kindUndef marks an unassigned local slot; it is deliberately NOT the
+// zero ValueKind (fields and array elements default to integer 0, but
+// reading an unassigned local is a runtime error).
+const kindUndef ValueKind = 99
+
+var undefValue = Value{Kind: kindUndef}
+
+// cstmt executes one compiled statement on a thread.
+type cstmt func(t *Thread)
+
+// cexpr evaluates one compiled expression.
+type cexpr func(t *Thread) Value
+
+// scope assigns frame slots to the variables of one body.
+type scope struct {
+	slots map[expr.Var]int
+}
+
+func (sc *scope) slot(v expr.Var) int {
+	if i, ok := sc.slots[v]; ok {
+		return i
+	}
+	i := len(sc.slots)
+	sc.slots[v] = i
+	return i
+}
+
+// compiledBody is a compiled block plus its variable layout.
+type compiledBody struct {
+	stmts []cstmt
+	sc    *scope
+}
+
+func (cb *compiledBody) newFrame() []Value {
+	f := make([]Value, len(cb.sc.slots))
+	for i := range f {
+		f[i] = undefValue
+	}
+	return f
+}
+
+// run executes the body on t's current frame.
+func (cb *compiledBody) run(t *Thread) {
+	for _, s := range cb.stmts {
+		s(t)
+	}
+}
+
+// compileBody compiles a block with a fresh scope.
+func (in *Interp) compileBody(b *bfj.Block) *compiledBody {
+	sc := &scope{slots: map[expr.Var]int{}}
+	stmts := in.compileBlock(b, sc)
+	return &compiledBody{stmts: stmts, sc: sc}
+}
+
+// compiledMethod caches a method's compiled body.
+func (in *Interp) compiledMethod(m *bfj.Method) *compiledBody {
+	if cb, ok := in.methods[m]; ok {
+		return cb
+	}
+	sc := &scope{slots: map[expr.Var]int{}}
+	for _, p := range m.Params {
+		sc.slot(p)
+	}
+	cb := &compiledBody{stmts: in.compileBlock(m.Body, sc), sc: sc}
+	in.methods[m] = cb
+	return cb
+}
+
+func (in *Interp) compileBlock(b *bfj.Block, sc *scope) []cstmt {
+	out := make([]cstmt, 0, len(b.Stmts))
+	for _, s := range b.Stmts {
+		out = append(out, in.compileStmt(s, sc))
+	}
+	return out
+}
+
+// frame accessors --------------------------------------------------------
+
+func (t *Thread) slotGet(i int) Value {
+	v := t.cur[i]
+	if v.Kind == kindUndef {
+		fail("read of unassigned variable (slot %d)", i)
+	}
+	return v
+}
+
+func (t *Thread) slotSet(i int, v Value) {
+	t.cur[i] = v
+}
+
+func getObj(t *Thread, slot int, what string) *Object {
+	v := t.slotGet(slot)
+	if v.Kind != KindObject {
+		fail("%s is not an object (it is %s)", what, v)
+	}
+	return v.Obj
+}
+
+func getArr(t *Thread, slot int, what string) *Array {
+	v := t.slotGet(slot)
+	if v.Kind != KindArray {
+		fail("%s is not an array (it is %s)", what, v)
+	}
+	return v.Arr
+}
+
+func asInt(v Value, what fmt.Stringer) int64 {
+	if v.Kind != KindInt {
+		fail("expected integer, got %s in %s", v, what)
+	}
+	return v.I
+}
+
+func asBool(v Value, what fmt.Stringer) bool {
+	if v.Kind != KindBool {
+		fail("expected boolean, got %s in %s", v, what)
+	}
+	return v.B
+}
+
+// statement compilation ---------------------------------------------------
+
+func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
+	switch x := s.(type) {
+	case *bfj.Assign:
+		dst := sc.slot(x.X)
+		e := in.compileExpr(x.E, sc)
+		return func(t *Thread) {
+			in.step(t)
+			t.slotSet(dst, e(t))
+		}
+	case *bfj.Rename:
+		// A rename copies the raw slot, including the unassigned marker:
+		// pass 0 inserts renames flow-insensitively, so on a path where
+		// the source was never assigned the copy simply propagates
+		// "unassigned" (no fact about the source can be in the history on
+		// such a path, so no check ever reads the copy there).
+		dst := sc.slot(x.X)
+		src := sc.slot(x.Y)
+		return func(t *Thread) {
+			in.step(t)
+			t.slotSet(dst, t.cur[src])
+		}
+	case *bfj.New:
+		dst := sc.slot(x.X)
+		cls := in.prog.LookupClass(x.Class)
+		nf := len(cls.Fields)
+		return func(t *Thread) {
+			in.step(t)
+			o := &Object{ID: in.nextObjID, Class: cls, Fields: make(map[string]Value, nf)}
+			in.nextObjID++
+			in.C.BaseWords += uint64(nf) + 1
+			t.slotSet(dst, Value{Kind: KindObject, Obj: o})
+		}
+	case *bfj.NewArray:
+		dst := sc.slot(x.X)
+		size := in.compileExpr(x.Size, sc)
+		szE := x.Size
+		return func(t *Thread) {
+			in.step(t)
+			n := asInt(size(t), szE)
+			if n < 0 {
+				fail("newarray with negative size %d", n)
+			}
+			a := &Array{ID: in.nextArrID, Elems: make([]Value, n)}
+			in.nextArrID++
+			in.C.BaseWords += uint64(n) + 1
+			t.slotSet(dst, Value{Kind: KindArray, Arr: a})
+		}
+	case *bfj.FieldRead:
+		dst := sc.slot(x.X)
+		obj := sc.slot(x.Y)
+		field := x.F
+		vol := in.volatile[x.F]
+		return func(t *Thread) {
+			in.step(t)
+			o := getObj(t, obj, string(x.Y))
+			if vol && in.prog.IsVolatile(o.Class.Name, field) {
+				in.C.SyncOps++
+				in.hook.VolRead(t.ID, o, field)
+			} else {
+				in.countAccess(t, false)
+				in.hook.ReadField(t.ID, o, field)
+			}
+			t.slotSet(dst, o.Fields[field])
+		}
+	case *bfj.FieldWrite:
+		obj := sc.slot(x.Y)
+		field := x.F
+		vol := in.volatile[x.F]
+		e := in.compileExpr(x.E, sc)
+		return func(t *Thread) {
+			in.step(t)
+			o := getObj(t, obj, string(x.Y))
+			v := e(t)
+			if vol && in.prog.IsVolatile(o.Class.Name, field) {
+				in.C.SyncOps++
+				in.hook.VolWrite(t.ID, o, field)
+			} else {
+				in.countAccess(t, true)
+				in.hook.WriteField(t.ID, o, field)
+			}
+			o.Fields[field] = v
+		}
+	case *bfj.ArrayRead:
+		dst := sc.slot(x.X)
+		arr := sc.slot(x.Y)
+		idx := in.compileExpr(x.Z, sc)
+		idxE := x.Z
+		return func(t *Thread) {
+			in.step(t)
+			a := getArr(t, arr, string(x.Y))
+			i := asInt(idx(t), idxE)
+			if i < 0 || i >= int64(len(a.Elems)) {
+				fail("array read out of bounds: index %d, length %d", i, len(a.Elems))
+			}
+			in.countAccess(t, false)
+			in.hook.ReadIndex(t.ID, a, int(i))
+			t.slotSet(dst, a.Elems[i])
+		}
+	case *bfj.ArrayWrite:
+		arr := sc.slot(x.Y)
+		idx := in.compileExpr(x.Z, sc)
+		idxE := x.Z
+		e := in.compileExpr(x.E, sc)
+		return func(t *Thread) {
+			in.step(t)
+			a := getArr(t, arr, string(x.Y))
+			i := asInt(idx(t), idxE)
+			v := e(t)
+			if i < 0 || i >= int64(len(a.Elems)) {
+				fail("array write out of bounds: index %d, length %d", i, len(a.Elems))
+			}
+			in.countAccess(t, true)
+			in.hook.WriteIndex(t.ID, a, int(i))
+			a.Elems[i] = v
+		}
+	case *bfj.Acquire:
+		lock := sc.slot(x.L)
+		return func(t *Thread) {
+			in.step(t)
+			o := getObj(t, lock, string(x.L))
+			for o.lockOwner != nil && o.lockOwner != t {
+				t.waitLock = o
+				in.block(t)
+			}
+			t.waitLock = nil
+			o.lockOwner = t
+			o.lockDepth++
+			in.C.SyncOps++
+			in.hook.Acquire(t.ID, o)
+		}
+	case *bfj.Release:
+		lock := sc.slot(x.L)
+		return func(t *Thread) {
+			in.step(t)
+			o := getObj(t, lock, string(x.L))
+			if o.lockOwner != t {
+				fail("release of lock not held (object #%d)", o.ID)
+			}
+			in.C.SyncOps++
+			in.hook.Release(t.ID, o)
+			o.lockDepth--
+			if o.lockDepth == 0 {
+				o.lockOwner = nil
+			}
+		}
+	case *bfj.If:
+		cond := in.compileExpr(x.Cond, sc)
+		condE := x.Cond
+		then := in.compileBlock(x.Then, sc)
+		els := in.compileBlock(x.Else, sc)
+		return func(t *Thread) {
+			in.step(t)
+			if asBool(cond(t), condE) {
+				for _, s := range then {
+					s(t)
+				}
+			} else {
+				for _, s := range els {
+					s(t)
+				}
+			}
+		}
+	case *bfj.Loop:
+		pre := in.compileBlock(x.Pre, sc)
+		cond := in.compileExpr(x.Cond, sc)
+		condE := x.Cond
+		post := in.compileBlock(x.Post, sc)
+		return func(t *Thread) {
+			for {
+				for _, s := range pre {
+					s(t)
+				}
+				in.step(t)
+				if asBool(cond(t), condE) {
+					return
+				}
+				for _, s := range post {
+					s(t)
+				}
+			}
+		}
+	case *bfj.Call:
+		return in.compileCall(x, sc)
+	case *bfj.Fork:
+		return in.compileFork(x, sc)
+	case *bfj.Join:
+		h := sc.slot(x.X)
+		return func(t *Thread) {
+			in.step(t)
+			v := t.slotGet(h)
+			if v.Kind != KindThread {
+				fail("join target is not a thread handle")
+			}
+			for !v.Th.done {
+				t.waitJoin = v.Th
+				in.block(t)
+			}
+			t.waitJoin = nil
+			in.C.SyncOps++
+			in.hook.Join(t.ID, v.Th.ID)
+		}
+	case *bfj.Check:
+		return in.compileCheck(x, sc)
+	case *bfj.Print:
+		args := make([]cexpr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = in.compileExpr(a, sc)
+		}
+		return func(t *Thread) {
+			in.step(t)
+			if in.opts.Out == nil {
+				for _, a := range args {
+					a(t)
+				}
+				return
+			}
+			for i, a := range args {
+				if i > 0 {
+					fmt.Fprint(in.opts.Out, " ")
+				}
+				fmt.Fprint(in.opts.Out, a(t))
+			}
+			fmt.Fprintln(in.opts.Out)
+		}
+	case *bfj.Assert:
+		cond := in.compileExpr(x.Cond, sc)
+		condE := x.Cond
+		return func(t *Thread) {
+			in.step(t)
+			if !asBool(cond(t), condE) {
+				fail("assertion failed: %s", condE)
+			}
+		}
+	}
+	return func(t *Thread) { fail("unknown statement %T", s) }
+}
+
+func (in *Interp) compileCall(x *bfj.Call, sc *scope) cstmt {
+	recv := sc.slot(x.Y)
+	args := make([]cexpr, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = in.compileExpr(a, sc)
+	}
+	dst := -1
+	if x.X != "" {
+		dst = sc.slot(x.X)
+	}
+	name := x.M
+	return func(t *Thread) {
+		in.step(t)
+		o := getObj(t, recv, string(x.Y))
+		m := in.prog.LookupMethod(o.Class.Name, name)
+		if m == nil {
+			fail("class %s has no method %s", o.Class.Name, name)
+		}
+		if len(m.Params) != len(args)+1 {
+			fail("method %s expects %d args, got %d", m.QualifiedName(), len(m.Params)-1, len(args))
+		}
+		cb := in.compiledMethod(m)
+		frame := cb.newFrame()
+		frame[0] = Value{Kind: KindObject, Obj: o} // "this" is slot 0
+		for i, a := range args {
+			frame[i+1] = a(t)
+		}
+		if t.depth > 512 {
+			fail("call stack overflow in %s", m.QualifiedName())
+		}
+		saved := t.cur
+		t.cur = frame
+		t.depth++
+		cb.run(t)
+		var ret Value
+		if m.Ret != "" {
+			ret = t.slotGet(cb.sc.slots[m.Ret])
+		}
+		t.depth--
+		t.cur = saved
+		if dst >= 0 {
+			t.slotSet(dst, ret)
+		}
+	}
+}
+
+func (in *Interp) compileFork(x *bfj.Fork, sc *scope) cstmt {
+	recv := sc.slot(x.Y)
+	args := make([]cexpr, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = in.compileExpr(a, sc)
+	}
+	dst := sc.slot(x.X)
+	name := x.M
+	return func(t *Thread) {
+		in.step(t)
+		o := getObj(t, recv, string(x.Y))
+		m := in.prog.LookupMethod(o.Class.Name, name)
+		if m == nil {
+			fail("class %s has no method %s", o.Class.Name, name)
+		}
+		cb := in.compiledMethod(m)
+		frame := cb.newFrame()
+		frame[0] = Value{Kind: KindObject, Obj: o}
+		for i, a := range args {
+			frame[i+1] = a(t)
+		}
+		nt := in.newThread(frame)
+		in.C.SyncOps++
+		in.hook.Fork(t.ID, nt.ID)
+		in.startThread(nt, func() { cb.run(nt) })
+		t.slotSet(dst, Value{Kind: KindThread, Th: nt})
+	}
+}
+
+func (in *Interp) compileCheck(x *bfj.Check, sc *scope) cstmt {
+	type citem struct {
+		write  bool
+		field  bool
+		base   int
+		fields []string
+		lo     cexpr
+		hi     cexpr
+		step   cexpr
+		path   expr.Path
+	}
+	items := make([]citem, 0, len(x.Items))
+	for _, it := range x.Items {
+		ci := citem{write: it.Kind == bfj.Write, path: it.Path}
+		switch p := it.Path.(type) {
+		case expr.FieldPath:
+			ci.field = true
+			ci.base = sc.slot(p.Base)
+			ci.fields = p.Fields
+		case expr.ArrayPath:
+			ci.base = sc.slot(p.Base)
+			ci.lo = in.compileExpr(p.Range.Lo, sc)
+			ci.hi = in.compileExpr(p.Range.Hi, sc)
+			ci.step = in.compileExpr(p.Range.Step, sc)
+		}
+		items = append(items, ci)
+	}
+	return func(t *Thread) {
+		in.step(t)
+		for i := range items {
+			ci := &items[i]
+			if ci.field {
+				o := getObj(t, ci.base, "check designator")
+				in.countCheck(t)
+				in.hook.CheckField(t.ID, ci.write, o, ci.fields)
+				continue
+			}
+			a := getArr(t, ci.base, "check designator")
+			lo := asInt(ci.lo(t), ci.path)
+			hi := asInt(ci.hi(t), ci.path)
+			step := asInt(ci.step(t), ci.path)
+			if step < 1 {
+				fail("check with non-positive stride %d", step)
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > int64(a.Len()) {
+				hi = int64(a.Len())
+			}
+			if lo >= hi {
+				continue
+			}
+			in.countCheck(t)
+			in.hook.CheckRange(t.ID, ci.write, a, int(lo), int(hi), int(step))
+		}
+	}
+}
+
+// expression compilation ---------------------------------------------------
+
+func (in *Interp) compileExpr(e expr.Expr, sc *scope) cexpr {
+	switch x := e.(type) {
+	case expr.IntLit:
+		v := IntVal(x.Val)
+		return func(t *Thread) Value { return v }
+	case expr.BoolLit:
+		v := BoolVal(x.Val)
+		return func(t *Thread) Value { return v }
+	case expr.VarRef:
+		slot := sc.slot(x.Name)
+		return func(t *Thread) Value { return t.slotGet(slot) }
+	case expr.LenOf:
+		slot := sc.slot(x.Base)
+		name := string(x.Base)
+		return func(t *Thread) Value { return IntVal(int64(getArr(t, slot, name).Len())) }
+	case expr.Unary:
+		inner := in.compileExpr(x.X, sc)
+		switch x.Op {
+		case expr.OpNot:
+			return func(t *Thread) Value { return BoolVal(!asBool(inner(t), e)) }
+		case expr.OpNeg:
+			return func(t *Thread) Value { return IntVal(-asInt(inner(t), e)) }
+		}
+	case expr.Binary:
+		l := in.compileExpr(x.L, sc)
+		r := in.compileExpr(x.R, sc)
+		switch x.Op {
+		case expr.OpAnd:
+			return func(t *Thread) Value {
+				if !asBool(l(t), e) {
+					return BoolVal(false)
+				}
+				return BoolVal(asBool(r(t), e))
+			}
+		case expr.OpOr:
+			return func(t *Thread) Value {
+				if asBool(l(t), e) {
+					return BoolVal(true)
+				}
+				return BoolVal(asBool(r(t), e))
+			}
+		case expr.OpEq:
+			return func(t *Thread) Value { return BoolVal(valueEq(l(t), r(t))) }
+		case expr.OpNe:
+			return func(t *Thread) Value { return BoolVal(!valueEq(l(t), r(t))) }
+		case expr.OpAdd:
+			return func(t *Thread) Value { return IntVal(asInt(l(t), e) + asInt(r(t), e)) }
+		case expr.OpSub:
+			return func(t *Thread) Value { return IntVal(asInt(l(t), e) - asInt(r(t), e)) }
+		case expr.OpMul:
+			return func(t *Thread) Value { return IntVal(asInt(l(t), e) * asInt(r(t), e)) }
+		case expr.OpDiv:
+			return func(t *Thread) Value {
+				d := asInt(r(t), e)
+				if d == 0 {
+					fail("division by zero")
+				}
+				return IntVal(expr.FloorDiv(asInt(l(t), e), d))
+			}
+		case expr.OpMod:
+			return func(t *Thread) Value {
+				d := asInt(r(t), e)
+				if d == 0 {
+					fail("modulo by zero")
+				}
+				return IntVal(expr.FloorMod(asInt(l(t), e), d))
+			}
+		case expr.OpLt:
+			return func(t *Thread) Value { return BoolVal(asInt(l(t), e) < asInt(r(t), e)) }
+		case expr.OpLe:
+			return func(t *Thread) Value { return BoolVal(asInt(l(t), e) <= asInt(r(t), e)) }
+		case expr.OpGt:
+			return func(t *Thread) Value { return BoolVal(asInt(l(t), e) > asInt(r(t), e)) }
+		case expr.OpGe:
+			return func(t *Thread) Value { return BoolVal(asInt(l(t), e) >= asInt(r(t), e)) }
+		}
+	}
+	return func(t *Thread) Value {
+		fail("cannot evaluate expression %s", e)
+		return Value{}
+	}
+}

@@ -1,0 +1,86 @@
+package interp
+
+// Hook receives every analysis-relevant event of an execution.  All
+// callbacks run on the scheduler token, so implementations need no
+// internal locking and observe a globally serialized event order.
+//
+// Raw access events (ReadField/WriteField/ReadIndex/WriteIndex) fire at
+// each heap access of the target; Check events fire when the
+// instrumented program executes a check(C) statement.  Per-access
+// detectors (the oracle) consume the former; check-driven detectors
+// (FastTrack through BigFoot) consume the latter.
+type Hook interface {
+	// Fork reports that parent started child (a happens-before edge
+	// parent→child).  The static thread blocks are forked by the setup
+	// thread (parent 0).
+	Fork(parent, child int)
+	// ThreadEnd reports that thread t ran to completion.
+	ThreadEnd(t int)
+	// Join reports that parent observed child's completion (an edge
+	// child-end→parent).
+	Join(parent, child int)
+
+	Acquire(t int, lock *Object)
+	Release(t int, lock *Object)
+	VolRead(t int, o *Object, field string)
+	VolWrite(t int, o *Object, field string)
+
+	ReadField(t int, o *Object, field string)
+	WriteField(t int, o *Object, field string)
+	ReadIndex(t int, a *Array, i int)
+	WriteIndex(t int, a *Array, i int)
+
+	// CheckField reports an executed (possibly coalesced) field check.
+	CheckField(t int, write bool, o *Object, fields []string)
+	// CheckRange reports an executed array range check [lo,hi):step.
+	CheckRange(t int, write bool, a *Array, lo, hi, step int)
+
+	// Finish fires once after all threads have completed.
+	Finish()
+}
+
+// NopHook ignores all events; embed it to implement partial hooks, or
+// use it directly for uninstrumented base runs.
+type NopHook struct{}
+
+// Fork implements Hook.
+func (NopHook) Fork(parent, child int) {}
+
+// ThreadEnd implements Hook.
+func (NopHook) ThreadEnd(t int) {}
+
+// Join implements Hook.
+func (NopHook) Join(parent, child int) {}
+
+// Acquire implements Hook.
+func (NopHook) Acquire(t int, lock *Object) {}
+
+// Release implements Hook.
+func (NopHook) Release(t int, lock *Object) {}
+
+// VolRead implements Hook.
+func (NopHook) VolRead(t int, o *Object, field string) {}
+
+// VolWrite implements Hook.
+func (NopHook) VolWrite(t int, o *Object, field string) {}
+
+// ReadField implements Hook.
+func (NopHook) ReadField(t int, o *Object, field string) {}
+
+// WriteField implements Hook.
+func (NopHook) WriteField(t int, o *Object, field string) {}
+
+// ReadIndex implements Hook.
+func (NopHook) ReadIndex(t int, a *Array, i int) {}
+
+// WriteIndex implements Hook.
+func (NopHook) WriteIndex(t int, a *Array, i int) {}
+
+// CheckField implements Hook.
+func (NopHook) CheckField(t int, write bool, o *Object, fields []string) {}
+
+// CheckRange implements Hook.
+func (NopHook) CheckRange(t int, write bool, a *Array, lo, hi, step int) {}
+
+// Finish implements Hook.
+func (NopHook) Finish() {}

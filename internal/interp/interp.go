@@ -1,0 +1,331 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"bigfoot/internal/bfj"
+)
+
+// Options configures an execution.
+type Options struct {
+	// Seed drives the deterministic preemption schedule.
+	Seed int64
+	// SliceMin/SliceMax bound the number of statements a thread runs
+	// between preemption points.  Defaults: 20..120.
+	SliceMin, SliceMax int
+	// MaxSteps aborts runaway executions. Default 500M.
+	MaxSteps uint64
+	// Out receives print statement output (nil discards it).
+	Out io.Writer
+	// CountThread0 includes thread 0 (setup/orchestration) accesses and
+	// checks in the counters.  Off by default so check ratios measure
+	// the workload's worker threads, matching the paper's methodology of
+	// measuring the target workload rather than harness code.
+	CountThread0 bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SliceMin <= 0 {
+		o.SliceMin = 20
+	}
+	if o.SliceMax <= o.SliceMin {
+		o.SliceMax = o.SliceMin + 100
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 500_000_000
+	}
+	return o
+}
+
+// Counters are the deterministic execution metrics.
+type Counters struct {
+	Steps         uint64
+	ReadAccesses  uint64
+	WriteAccesses uint64
+	CheckItems    uint64 // executed check items (coalesced counts once)
+	SyncOps       uint64
+	BaseWords     uint64 // allocated program data, in value words
+	Threads       int
+}
+
+// Accesses returns total heap accesses.
+func (c Counters) Accesses() uint64 { return c.ReadAccesses + c.WriteAccesses }
+
+// Thread is one BFJ thread of control.
+type Thread struct {
+	ID   int
+	done bool
+
+	in     *Interp
+	cur    frame // current (top) frame
+	depth  int   // call depth
+	resume chan struct{}
+
+	// Block conditions (at most one non-nil/zero at a time).
+	waitLock *Object
+	waitJoin *Thread
+
+	budget int
+}
+
+// frame is a compiled body's variable storage, indexed by slot.
+type frame = []Value
+
+// Interp executes one program.
+type Interp struct {
+	prog *bfj.Program
+	hook Hook
+	opts Options
+	C    Counters
+
+	rng     *rand.Rand
+	threads []*Thread
+	back    chan struct{}
+
+	nextObjID int
+	nextArrID int
+
+	// methods caches compiled method bodies; volatile pre-screens field
+	// names that may be volatile in some class.
+	methods  map[*bfj.Method]*compiledBody
+	volatile map[string]bool
+
+	err     error
+	aborted bool
+}
+
+type runtimeErr struct{ msg string }
+
+type abortSignal struct{}
+
+func fail(format string, args ...any) {
+	panic(runtimeErr{fmt.Sprintf(format, args...)})
+}
+
+// Run executes the program under the hook and returns the execution
+// counters.  The error reports runtime failures (null dereference,
+// out-of-bounds, assertion failure, deadlock, step-limit exceeded).
+func Run(prog *bfj.Program, hook Hook, opts Options) (Counters, error) {
+	in := &Interp{
+		prog:     prog,
+		hook:     hook,
+		opts:     opts.withDefaults(),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		back:     make(chan struct{}),
+		methods:  map[*bfj.Method]*compiledBody{},
+		volatile: map[string]bool{},
+	}
+	for _, c := range prog.Classes {
+		for _, f := range c.Fields {
+			if f.Volatile {
+				in.volatile[f.Name] = true
+			}
+		}
+	}
+	err := in.run()
+	in.C.Threads = len(in.threads)
+	return in.C, err
+}
+
+func (in *Interp) run() error {
+	// Thread 0 executes the setup block and then forks the program's
+	// static thread blocks, which capture its environment bindings.
+	setupCB := in.compileBody(in.prog.Setup)
+	threadCBs := make([]*compiledBody, len(in.prog.Threads))
+	for i, b := range in.prog.Threads {
+		threadCBs[i] = in.compileBody(b)
+	}
+	t0 := in.newThread(setupCB.newFrame())
+	in.startThread(t0, func() {
+		setupCB.run(t0)
+		base := t0.cur
+		for _, cb := range threadCBs {
+			cb := cb
+			env := cb.newFrame()
+			// Capture by value: every variable the thread mentions that
+			// setup defined is copied into the thread's frame.
+			for v, slot := range cb.sc.slots {
+				if src, ok := setupCB.sc.slots[v]; ok {
+					env[slot] = base[src]
+				}
+			}
+			nt := in.newThread(env)
+			in.C.SyncOps++
+			in.hook.Fork(t0.ID, nt.ID)
+			in.startThread(nt, func() { cb.run(nt) })
+		}
+	})
+
+	if err := in.schedule(); err != nil {
+		return err
+	}
+	if in.err != nil {
+		return in.err
+	}
+	// Program end: the runtime observes every thread's completion.
+	for _, t := range in.threads[1:] {
+		in.hook.Join(0, t.ID)
+	}
+	in.hook.Finish()
+	return nil
+}
+
+// newThread registers a thread with the scheduler.
+func (in *Interp) newThread(env frame) *Thread {
+	t := &Thread{ID: len(in.threads), in: in, resume: make(chan struct{}), cur: env}
+	in.threads = append(in.threads, t)
+	return t
+}
+
+// startThread launches the thread's goroutine; it runs only when given
+// the scheduler token.
+func (in *Interp) startThread(t *Thread, body func()) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				switch e := r.(type) {
+				case runtimeErr:
+					if in.err == nil {
+						in.err = fmt.Errorf("thread %d: %s", t.ID, e.msg)
+					}
+					in.aborted = true
+				case abortSignal:
+					// unwound by scheduler abort
+				default:
+					panic(r)
+				}
+			}
+			t.done = true
+			if !in.aborted {
+				in.hook.ThreadEnd(t.ID)
+			}
+			in.back <- struct{}{}
+		}()
+		<-t.resume
+		if in.aborted {
+			panic(abortSignal{})
+		}
+		body()
+	}()
+}
+
+// schedule runs the token-passing scheduler until all threads finish.
+func (in *Interp) schedule() error {
+	for {
+		if in.C.Steps > in.opts.MaxSteps {
+			in.abortAll()
+			return fmt.Errorf("step limit exceeded (%d)", in.opts.MaxSteps)
+		}
+		var runnable []*Thread
+		alive := false
+		for _, t := range in.threads {
+			if t.done {
+				continue
+			}
+			alive = true
+			if in.isRunnable(t) {
+				runnable = append(runnable, t)
+			}
+		}
+		if !alive {
+			return nil
+		}
+		if in.aborted {
+			in.abortAll()
+			return in.err
+		}
+		if len(runnable) == 0 {
+			in.abortAll()
+			return fmt.Errorf("deadlock: all live threads are blocked")
+		}
+		t := runnable[in.rng.Intn(len(runnable))]
+		t.budget = in.opts.SliceMin + in.rng.Intn(in.opts.SliceMax-in.opts.SliceMin+1)
+		t.resume <- struct{}{}
+		<-in.back
+	}
+}
+
+// abortAll unwinds every parked thread goroutine.
+func (in *Interp) abortAll() {
+	in.aborted = true
+	for _, t := range in.threads {
+		if !t.done {
+			t.resume <- struct{}{}
+			<-in.back
+		}
+	}
+}
+
+func (in *Interp) isRunnable(t *Thread) bool {
+	if t.waitLock != nil {
+		return t.waitLock.lockOwner == nil || t.waitLock.lockOwner == t
+	}
+	if t.waitJoin != nil {
+		return t.waitJoin.done
+	}
+	return true
+}
+
+// step charges one execution step and preempts when the slice expires.
+func (in *Interp) step(t *Thread) {
+	in.C.Steps++
+	t.budget--
+	if t.budget <= 0 {
+		in.yield(t)
+	}
+}
+
+func (in *Interp) yield(t *Thread) {
+	in.back <- struct{}{}
+	<-t.resume
+	if in.aborted {
+		panic(abortSignal{})
+	}
+}
+
+// countAccess counts a worker heap access (thread 0 excluded unless
+// CountThread0 is set).
+func (in *Interp) countAccess(t *Thread, write bool) {
+	if t.ID == 0 && !in.opts.CountThread0 {
+		return
+	}
+	if write {
+		in.C.WriteAccesses++
+	} else {
+		in.C.ReadAccesses++
+	}
+}
+
+func (in *Interp) countCheck(t *Thread) {
+	if t.ID == 0 && !in.opts.CountThread0 {
+		return
+	}
+	in.C.CheckItems++
+}
+
+// block parks the thread until its wait condition clears.
+func (in *Interp) block(t *Thread) {
+	in.yield(t)
+}
+
+func valueEq(l, r Value) bool {
+	if l.Kind != r.Kind {
+		return false
+	}
+	switch l.Kind {
+	case KindInt:
+		return l.I == r.I
+	case KindBool:
+		return l.B == r.B
+	case KindObject:
+		return l.Obj == r.Obj
+	case KindArray:
+		return l.Arr == r.Arr
+	case KindThread:
+		return l.Th == r.Th
+	default:
+		return false
+	}
+}

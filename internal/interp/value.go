@@ -1,0 +1,88 @@
+// Package interp executes BFJ programs on a deterministic,
+// seed-controlled scheduler and surfaces every heap access, race check,
+// and synchronization operation to a detector Hook.  It stands in for
+// the JVM + RoadRunner event stream of the paper's evaluation: all
+// detectors run on identical executions, so their relative overheads
+// and check counts are directly comparable, and schedules are
+// reproducible for precision testing.
+package interp
+
+import (
+	"fmt"
+
+	"bigfoot/internal/bfj"
+)
+
+// ValueKind tags the dynamic type of a BFJ value.
+type ValueKind int
+
+// Value kinds.  KindInt is the zero kind, so uninitialized fields and
+// array elements read as integer 0 (matching Java's default values for
+// the numeric programs BFJ models).
+const (
+	KindInt ValueKind = iota
+	KindBool
+	KindObject
+	KindArray
+	KindThread
+)
+
+// Value is a BFJ runtime value.
+type Value struct {
+	Kind ValueKind
+	I    int64
+	B    bool
+	Obj  *Object
+	Arr  *Array
+	Th   *Thread
+}
+
+// IntVal builds an integer value.
+func IntVal(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// BoolVal builds a boolean value.
+func BoolVal(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// String renders the value for print statements.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindBool:
+		return fmt.Sprintf("%t", v.B)
+	case KindObject:
+		return fmt.Sprintf("%s#%d", v.Obj.Class.Name, v.Obj.ID)
+	case KindArray:
+		return fmt.Sprintf("array#%d[%d]", v.Arr.ID, len(v.Arr.Elems))
+	case KindThread:
+		return fmt.Sprintf("thread#%d", v.Th.ID)
+	default:
+		return "?"
+	}
+}
+
+// Object is a heap object: named fields plus an intrinsic lock.
+type Object struct {
+	ID     int
+	Class  *bfj.Class
+	Fields map[string]Value
+
+	// Intrinsic (reentrant) lock state, managed by the scheduler.
+	lockOwner *Thread
+	lockDepth int
+
+	// Shadow is detector-owned per-object state.
+	Shadow any
+}
+
+// Array is a heap array.
+type Array struct {
+	ID    int
+	Elems []Value
+
+	// Shadow is detector-owned per-array state.
+	Shadow any
+}
+
+// Len returns the element count.
+func (a *Array) Len() int { return len(a.Elems) }

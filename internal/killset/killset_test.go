@@ -1,0 +1,140 @@
+package killset
+
+import (
+	"testing"
+
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/expr"
+)
+
+const src = `
+class Plain {
+  field f, g;
+  method pure(x) {
+    this.f = x;
+    r = this.f;
+    return r;
+  }
+  method locksIt(l) {
+    acquire l;
+    this.g = 1;
+    release l;
+  }
+  method callsLocker(l) {
+    this.locksIt(l);
+  }
+  method forksOnly(l) {
+    h = fork this.pure(1);
+  }
+  method forksAndJoins(l) {
+    h = fork this.pure(1);
+    join h;
+  }
+}
+class Vol {
+  volatile field flag;
+  field data;
+  method publish() {
+    this.data = 1;
+    this.flag = 1;
+  }
+  method consume() {
+    r = this.flag;
+    d = this.data;
+    return d;
+  }
+}
+setup { }
+`
+
+func table(t *testing.T) *Table {
+	t.Helper()
+	return Compute(bfj.MustParse(src))
+}
+
+func TestPureMethodHasNoSyncEffects(t *testing.T) {
+	tb := table(t)
+	e := tb.Effects("pure", 1)
+	if e.MayAcquire || e.MayRelease {
+		t.Errorf("pure method flagged as syncing: %+v", e)
+	}
+	if !e.FieldsWritten["f"] {
+		t.Error("field write not recorded")
+	}
+}
+
+func TestLockEffectsPropagateTransitively(t *testing.T) {
+	tb := table(t)
+	direct := tb.Effects("locksIt", 1)
+	if !direct.MayAcquire || !direct.MayRelease {
+		t.Errorf("direct locker: %+v", direct)
+	}
+	indirect := tb.Effects("callsLocker", 1)
+	if !indirect.MayAcquire || !indirect.MayRelease {
+		t.Errorf("transitive locker: %+v", indirect)
+	}
+	if !indirect.FieldsWritten["g"] {
+		t.Error("transitive field write not recorded")
+	}
+}
+
+func TestForkIsReleaseJoinIsAcquire(t *testing.T) {
+	tb := table(t)
+	forks := tb.Effects("forksOnly", 1)
+	if !forks.MayRelease || forks.MayAcquire {
+		t.Errorf("fork-only: %+v", forks)
+	}
+	// The forked body runs concurrently: its writes are NOT the caller's.
+	if forks.FieldsWritten["f"] {
+		t.Error("forked body's writes must not propagate to the forking method")
+	}
+	both := tb.Effects("forksAndJoins", 1)
+	if !both.MayRelease || !both.MayAcquire {
+		t.Errorf("fork+join: %+v", both)
+	}
+}
+
+func TestVolatileAccessesAreSync(t *testing.T) {
+	tb := table(t)
+	pub := tb.Effects("publish", 0)
+	if !pub.MayRelease || pub.MayAcquire {
+		t.Errorf("volatile write should be release-like: %+v", pub)
+	}
+	con := tb.Effects("consume", 0)
+	if !con.MayAcquire {
+		t.Errorf("volatile read should be acquire-like: %+v", con)
+	}
+	if !tb.IsVolatileField("flag") || tb.IsVolatileField("data") {
+		t.Error("volatile field resolution wrong")
+	}
+}
+
+func TestKillsAliasFact(t *testing.T) {
+	tb := table(t)
+	pure := tb.Effects("pure", 1) // writes field f, no sync
+	fFact := expr.Eq(expr.V("x"), expr.FieldSel{Base: "a", Field: "f"})
+	gFact := expr.Eq(expr.V("x"), expr.FieldSel{Base: "a", Field: "zzz"})
+	local := expr.Eq(expr.V("x"), expr.I(3))
+	if !pure.KillsAliasFact(fFact) {
+		t.Error("write to f must kill f-alias facts")
+	}
+	if pure.KillsAliasFact(gFact) {
+		t.Error("unwritten field alias wrongly killed")
+	}
+	if pure.KillsAliasFact(local) {
+		t.Error("heap-free fact wrongly killed")
+	}
+	// Acquire-like callees kill every heap alias fact.
+	locks := tb.Effects("locksIt", 1)
+	if !locks.KillsAliasFact(gFact) {
+		t.Error("acquiring callee must kill all alias facts")
+	}
+}
+
+func TestUnknownCallSiteIsHarmless(t *testing.T) {
+	tb := table(t)
+	e := tb.Effects("nosuchmethod", 3)
+	if e.Syncs() || len(e.FieldsWritten) != 0 {
+		t.Errorf("unknown callee should have empty effects: %+v", e)
+	}
+}

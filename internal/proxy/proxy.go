@@ -1,0 +1,153 @@
+// Package proxy implements BigFoot's static field proxy compression
+// (§4): after check placement, fields that are always checked together
+// can share a single shadow location with no loss in precision.  We use
+// the symmetric proxy relation (footnote 2 of the paper): fields f and g
+// are merged only when every check mentioning either mentions both, so
+// race detection remains address-precise on the merged group.
+//
+// BFJ receivers are dynamically typed, so the partition is computed over
+// field names program-wide: a field name's signature is the set of
+// check items it appears in; names with identical signatures form a
+// proxy group.
+package proxy
+
+import (
+	"sort"
+
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/expr"
+)
+
+// Table maps each field name to its proxy-group representative.  Fields
+// not mentioned by any check map to themselves.
+type Table struct {
+	rep map[string]string
+	// GroupCount is the number of multi-field groups found.
+	GroupCount int
+	// FieldsCompressed counts fields sharing another field's shadow.
+	FieldsCompressed int
+}
+
+// Rep returns the shadow-location key for a field.
+func (t *Table) Rep(field string) string {
+	if t == nil {
+		return field
+	}
+	if r, ok := t.rep[field]; ok {
+		return r
+	}
+	return field
+}
+
+// GroupsOf maps a coalesced check's field list to the distinct shadow
+// keys it touches (one shadow operation per key).  Field lists arrive
+// sorted and duplicate-free (expr.NewFieldPath), so when no field is
+// compressed the input is returned unchanged without allocating — the
+// hot path on programs with few proxies.
+func (t *Table) GroupsOf(fields []string) []string {
+	if t == nil {
+		return fields
+	}
+	identity := true
+	for _, f := range fields {
+		if r, ok := t.rep[f]; ok && r != f {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return fields
+	}
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		r := t.Rep(f)
+		dup := false
+		for _, o := range out {
+			if o == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Analyze runs the single pass over all checks of an instrumented
+// program (§4: "identifying field proxies requires a single pass over
+// all checks").
+func Analyze(prog *bfj.Program) *Table {
+	// signature[f] = sorted item ids f appears in.
+	sig := map[string][]int{}
+	itemID := 0
+	visit := func(c *bfj.Check) {
+		for _, it := range c.Items {
+			fp, ok := it.Path.(expr.FieldPath)
+			if !ok {
+				continue
+			}
+			for _, f := range fp.Fields {
+				sig[f] = append(sig[f], itemID)
+			}
+			itemID++
+		}
+	}
+	forEachCheck(prog, visit)
+
+	// Group fields by identical signatures.
+	bySig := map[string][]string{}
+	for f, ids := range sig {
+		key := sigKey(ids)
+		bySig[key] = append(bySig[key], f)
+	}
+	t := &Table{rep: map[string]string{}}
+	for _, group := range bySig {
+		sort.Strings(group)
+		for _, f := range group {
+			t.rep[f] = group[0]
+		}
+		if len(group) > 1 {
+			t.GroupCount++
+			t.FieldsCompressed += len(group) - 1
+		}
+	}
+	return t
+}
+
+func sigKey(ids []int) string {
+	b := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(b)
+}
+
+func forEachCheck(prog *bfj.Program, visit func(*bfj.Check)) {
+	var walkBlock func(*bfj.Block)
+	walkBlock = func(b *bfj.Block) {
+		if b == nil {
+			return
+		}
+		for _, s := range b.Stmts {
+			switch x := s.(type) {
+			case *bfj.Check:
+				visit(x)
+			case *bfj.If:
+				walkBlock(x.Then)
+				walkBlock(x.Else)
+			case *bfj.Loop:
+				walkBlock(x.Pre)
+				walkBlock(x.Post)
+			}
+		}
+	}
+	for _, m := range prog.Methods() {
+		walkBlock(m.Body)
+	}
+	walkBlock(prog.Setup)
+	for _, t := range prog.Threads {
+		walkBlock(t)
+	}
+}

@@ -1,0 +1,381 @@
+// Package shadow implements the shadow-location state machines of the
+// dynamic detectors: the FastTrack adaptive epoch representation for a
+// single location, and the SlimState-style adaptively compressed shadow
+// state for arrays (coarse → blocks/strided → fine), which BigFoot
+// refines at footprint-commit time (§4).
+package shadow
+
+import (
+	"fmt"
+
+	"bigfoot/internal/vc"
+)
+
+// Race describes a detected data race on one shadow location.
+type Race struct {
+	PrevTID int    // thread of the earlier conflicting access
+	CurTID  int    // thread of the later access
+	IsWrite bool   // later access is a write
+	PrevW   bool   // earlier access was a write
+	Desc    string // location description, filled by the detector
+}
+
+// State is a FastTrack shadow location: last-write epoch W, and either a
+// last-read epoch R or (when reads are concurrent) a full read vector RV.
+type State struct {
+	W  vc.Epoch
+	R  vc.Epoch
+	RV vc.VC // non-empty iff read-shared
+}
+
+// Ops counts the shadow-location operations performed, the primary
+// dynamic cost metric.
+type Ops struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Total returns the total operation count.
+func (o Ops) Total() uint64 { return o.Reads + o.Writes }
+
+// Add accumulates.
+func (o *Ops) Add(p Ops) {
+	o.Reads += p.Reads
+	o.Writes += p.Writes
+}
+
+func (s *State) shared() bool { return s.RV.Len() > 0 }
+
+// Read performs the FastTrack read check-and-update for thread t whose
+// current vector time is now.  It returns a non-nil race when the read
+// conflicts with a previous write.
+func (s *State) Read(t int, now vc.VC) *Race {
+	e := now.Epoch(t)
+	if !s.shared() && s.R == e {
+		return nil // same epoch
+	}
+	var race *Race
+	if !s.W.LEQ(now) {
+		race = &Race{PrevTID: s.W.TID(), CurTID: t, IsWrite: false, PrevW: true}
+	}
+	if s.shared() {
+		s.RV.Set(t, e.Clock())
+		return race
+	}
+	if s.R.IsZero() || s.R.LEQ(now) {
+		s.R = e // exclusive
+		return race
+	}
+	// Concurrent reads: inflate to a read vector.
+	s.RV = vc.New(max(s.R.TID(), t) + 1)
+	s.RV.Set(s.R.TID(), s.R.Clock())
+	s.RV.Set(t, e.Clock())
+	s.R = 0
+	return race
+}
+
+// Write performs the FastTrack write check-and-update.
+func (s *State) Write(t int, now vc.VC) *Race {
+	e := now.Epoch(t)
+	if s.W == e {
+		return nil // same epoch
+	}
+	var race *Race
+	if !s.W.LEQ(now) {
+		race = &Race{PrevTID: s.W.TID(), CurTID: t, IsWrite: true, PrevW: true}
+	}
+	if s.shared() {
+		if u := s.RV.AnyGreater(now); u >= 0 && race == nil {
+			race = &Race{PrevTID: u, CurTID: t, IsWrite: true, PrevW: false}
+		}
+		s.RV = vc.VC{} // deflate: reads are now ordered or reported
+	} else if !s.R.IsZero() && !s.R.LEQ(now) && race == nil {
+		race = &Race{PrevTID: s.R.TID(), CurTID: t, IsWrite: true, PrevW: false}
+	}
+	s.W = e
+	s.R = 0
+	return race
+}
+
+// Apply performs a read or write operation.
+func (s *State) Apply(write bool, t int, now vc.VC) *Race {
+	if write {
+		return s.Write(t, now)
+	}
+	return s.Read(t, now)
+}
+
+// Words reports the state's size in 64-bit words for the space census:
+// two epoch words plus any read vector.
+func (s *State) Words() int { return 2 + s.RV.Words() }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive array shadow state (SlimState / BigFoot §4)
+// ---------------------------------------------------------------------------
+
+// ArrayMode identifies the current compression mode of an array shadow.
+type ArrayMode int
+
+// Array shadow modes, from most to least compressed.
+const (
+	ModeCoarse  ArrayMode = iota // one state for the whole array
+	ModeBlocks                   // contiguous segments, one state each
+	ModeStrided                  // k interleaved states by residue class
+	ModeFine                     // one state per element
+)
+
+var modeNames = map[ArrayMode]string{
+	ModeCoarse: "coarse", ModeBlocks: "blocks", ModeStrided: "strided", ModeFine: "fine",
+}
+
+// String names the mode.
+func (m ArrayMode) String() string { return modeNames[m] }
+
+// maxBlockSegments bounds the blocks representation before reverting to
+// fine-grained.
+const maxBlockSegments = 64
+
+// ArrayShadow is the adaptively compressed shadow state of one array.
+// It starts coarse (a single state covering all elements) and refines
+// when a committed footprint is inconsistent with the current
+// representation; if refinement degenerates, it reverts to fine-grained.
+type ArrayShadow struct {
+	n    int
+	mode ArrayMode
+
+	coarse State
+
+	// blocks mode: segment i covers [bounds[i], bounds[i+1]).
+	bounds []int
+	segs   []State
+
+	// strided mode: stride k, states[j] covers indices ≡ j (mod k).
+	stride  int
+	strided []State
+
+	fine []State
+
+	// Refinements counts representation changes (reported in ablations).
+	Refinements int
+}
+
+// NewArrayShadow builds the initial (coarse) shadow for an array of n
+// elements.
+func NewArrayShadow(n int) *ArrayShadow {
+	return &ArrayShadow{n: n, mode: ModeCoarse}
+}
+
+// Mode returns the current representation mode.
+func (a *ArrayShadow) Mode() ArrayMode { return a.mode }
+
+// Words reports the shadow size in 64-bit words for the space census.
+func (a *ArrayShadow) Words() int {
+	switch a.mode {
+	case ModeCoarse:
+		return a.coarse.Words()
+	case ModeBlocks:
+		w := len(a.bounds)
+		for i := range a.segs {
+			w += a.segs[i].Words()
+		}
+		return w
+	case ModeStrided:
+		w := 1
+		for i := range a.strided {
+			w += a.strided[i].Words()
+		}
+		return w
+	default:
+		w := 0
+		for i := range a.fine {
+			w += a.fine[i].Words()
+		}
+		return w
+	}
+}
+
+// Commit applies a (possibly strided) range operation [lo,hi):step of
+// the given kind by thread t at time now, adaptively refining the
+// representation.  It returns any detected races and the number of
+// shadow-location operations performed.
+func (a *ArrayShadow) Commit(write bool, t int, now vc.VC, lo, hi, step int) ([]*Race, uint64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > a.n {
+		hi = a.n
+	}
+	if lo >= hi || step < 1 {
+		return nil, 0
+	}
+	var races []*Race
+	var ops uint64
+	apply := func(s *State) {
+		if r := s.Apply(write, t, now); r != nil {
+			races = append(races, r)
+		}
+		ops++
+	}
+
+	switch a.mode {
+	case ModeCoarse:
+		switch {
+		case step == 1 && lo == 0 && hi == a.n:
+			apply(&a.coarse)
+		case step > 1 && lo < step && hi > a.n-step:
+			// Full residue column: adopt the strided representation.
+			a.toStrided(step)
+			apply(&a.strided[lo%step])
+		case step == 1:
+			// Partial contiguous commit: refine to blocks.
+			a.toBlocks()
+			a.commitBlocks(apply, lo, hi)
+		default:
+			// Partial strided commit: no compressed mode fits.
+			a.toFine()
+			a.commitFine(apply, lo, hi, step)
+		}
+
+	case ModeBlocks:
+		if step != 1 {
+			a.toFine()
+			a.commitFine(apply, lo, hi, step)
+		} else {
+			a.commitBlocks(apply, lo, hi)
+		}
+
+	case ModeStrided:
+		switch {
+		case step == a.stride && lo < step && hi > a.n-step:
+			apply(&a.strided[lo%step])
+		case step == 1 && lo == 0 && hi == a.n:
+			// Whole-array access in strided mode: one op per column.
+			for j := range a.strided {
+				apply(&a.strided[j])
+			}
+		default:
+			a.toFine()
+			a.commitFine(apply, lo, hi, step)
+		}
+
+	default: // ModeFine
+		a.commitFine(apply, lo, hi, step)
+	}
+	return races, ops
+}
+
+func (a *ArrayShadow) commitBlocks(apply func(*State), lo, hi int) {
+	a.splitAt(lo)
+	a.splitAt(hi)
+	if len(a.segs) > maxBlockSegments {
+		a.toFine()
+		for i := lo; i < hi; i++ {
+			apply(&a.fine[i])
+		}
+		return
+	}
+	for i := 0; i < len(a.segs); i++ {
+		if a.bounds[i] >= lo && a.bounds[i+1] <= hi {
+			apply(&a.segs[i])
+		}
+	}
+}
+
+func (a *ArrayShadow) commitFine(apply func(*State), lo, hi, step int) {
+	for i := lo; i < hi; i += step {
+		apply(&a.fine[i])
+	}
+}
+
+// splitAt introduces a segment boundary at index k (no-op if already a
+// boundary or out of range).
+func (a *ArrayShadow) splitAt(k int) {
+	if k <= 0 || k >= a.n {
+		return
+	}
+	for i := 0; i < len(a.bounds)-1; i++ {
+		if a.bounds[i] == k {
+			return
+		}
+		if a.bounds[i] < k && k < a.bounds[i+1] {
+			a.bounds = append(a.bounds, 0)
+			copy(a.bounds[i+2:], a.bounds[i+1:])
+			a.bounds[i+1] = k
+			a.segs = append(a.segs, State{})
+			copy(a.segs[i+1:], a.segs[i:])
+			a.segs[i+1] = cloneState(a.segs[i])
+			return
+		}
+	}
+}
+
+func cloneState(s State) State {
+	if s.RV.Len() > 0 {
+		s.RV = s.RV.Copy()
+	}
+	return s
+}
+
+func (a *ArrayShadow) toBlocks() {
+	a.mode = ModeBlocks
+	a.bounds = []int{0, a.n}
+	a.segs = []State{a.coarse}
+	a.Refinements++
+}
+
+func (a *ArrayShadow) toStrided(k int) {
+	a.mode = ModeStrided
+	a.stride = k
+	a.strided = make([]State, k)
+	for j := range a.strided {
+		a.strided[j] = cloneState(a.coarse)
+	}
+	a.Refinements++
+}
+
+// toFine reverts to one state per element, duplicating the current
+// representation's state into each covered element.
+func (a *ArrayShadow) toFine() {
+	fine := make([]State, a.n)
+	switch a.mode {
+	case ModeCoarse:
+		for i := range fine {
+			fine[i] = cloneState(a.coarse)
+		}
+	case ModeBlocks:
+		for s := 0; s < len(a.segs); s++ {
+			for i := a.bounds[s]; i < a.bounds[s+1]; i++ {
+				fine[i] = cloneState(a.segs[s])
+			}
+		}
+	case ModeStrided:
+		for i := range fine {
+			fine[i] = cloneState(a.strided[i%a.stride])
+		}
+	case ModeFine:
+		return
+	}
+	a.mode = ModeFine
+	a.fine = fine
+	a.bounds, a.segs, a.strided = nil, nil, nil
+	a.Refinements++
+}
+
+// DebugString summarizes the representation.
+func (a *ArrayShadow) DebugString() string {
+	switch a.mode {
+	case ModeBlocks:
+		return fmt.Sprintf("blocks%v", a.bounds)
+	case ModeStrided:
+		return fmt.Sprintf("strided:%d", a.stride)
+	default:
+		return a.mode.String()
+	}
+}

@@ -1,0 +1,139 @@
+// Package vc implements the vector clocks and epochs used by precise
+// dynamic race detectors.  An epoch c@t packs a thread id and a scalar
+// clock into one word — FastTrack's key representation trick — while
+// full vector clocks remain available for read-shared histories and for
+// the DJIT+-style oracle.
+package vc
+
+import "fmt"
+
+// MaxThreads bounds the thread-id component of an epoch.
+const MaxThreads = 1 << 8
+
+// Epoch is a packed clock@tid pair.  The zero value is the bottom epoch
+// (never happens-before-related to anything, reads/writes at clock 0 of
+// thread 0 start at clock 1).
+type Epoch uint64
+
+// MakeEpoch packs clock c of thread t.
+func MakeEpoch(t int, c uint64) Epoch {
+	return Epoch(c<<8 | uint64(t&0xff))
+}
+
+// TID returns the thread id.
+func (e Epoch) TID() int { return int(e & 0xff) }
+
+// Clock returns the scalar clock.
+func (e Epoch) Clock() uint64 { return uint64(e >> 8) }
+
+// IsZero reports whether e is the bottom epoch.
+func (e Epoch) IsZero() bool { return e == 0 }
+
+// String renders c@t.
+func (e Epoch) String() string { return fmt.Sprintf("%d@%d", e.Clock(), e.TID()) }
+
+// LEQ reports e ⪯ V: the epoch happens-before (or equals) the vector
+// time V.
+func (e Epoch) LEQ(v VC) bool {
+	return e.IsZero() || e.Clock() <= v.Get(e.TID())
+}
+
+// VC is a vector clock, indexed by thread id.  The zero value is the
+// all-zero clock.
+type VC struct {
+	c []uint64
+}
+
+// New returns a vector clock with capacity for n threads.
+func New(n int) VC { return VC{c: make([]uint64, n)} }
+
+// Get returns component t (0 if beyond the stored length).
+func (v VC) Get(t int) uint64 {
+	if t < len(v.c) {
+		return v.c[t]
+	}
+	return 0
+}
+
+// Set updates component t, growing as needed.
+func (v *VC) Set(t int, val uint64) {
+	v.grow(t + 1)
+	v.c[t] = val
+}
+
+// Tick increments component t.
+func (v *VC) Tick(t int) {
+	v.grow(t + 1)
+	v.c[t]++
+}
+
+func (v *VC) grow(n int) {
+	if n > len(v.c) {
+		nc := make([]uint64, n)
+		copy(nc, v.c)
+		v.c = nc
+	}
+}
+
+// Join sets v to the pointwise maximum of v and o.
+func (v *VC) Join(o VC) {
+	v.grow(len(o.c))
+	for i, x := range o.c {
+		if x > v.c[i] {
+			v.c[i] = x
+		}
+	}
+}
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC {
+	nc := make([]uint64, len(v.c))
+	copy(nc, v.c)
+	return VC{c: nc}
+}
+
+// Assign overwrites v with the contents of o (reusing storage).
+func (v *VC) Assign(o VC) {
+	v.grow(len(o.c))
+	for i := range v.c {
+		if i < len(o.c) {
+			v.c[i] = o.c[i]
+		} else {
+			v.c[i] = 0
+		}
+	}
+}
+
+// LEQ reports v ⪯ o pointwise.
+func (v VC) LEQ(o VC) bool {
+	for i, x := range v.c {
+		if x > o.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Epoch returns the epoch of thread t at v's component.
+func (v VC) Epoch(t int) Epoch { return MakeEpoch(t, v.Get(t)) }
+
+// Len returns the number of stored components.
+func (v VC) Len() int { return len(v.c) }
+
+// AnyGreater returns the first thread whose component in v exceeds o's,
+// or -1 when v ⪯ o.  Used for read-shared write checks.
+func (v VC) AnyGreater(o VC) int {
+	for i, x := range v.c {
+		if x > o.Get(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Words reports the memory footprint of the clock in 64-bit words, for
+// the shadow-space census.
+func (v VC) Words() int { return len(v.c) }
+
+// String renders the clock as [c0, c1, ...].
+func (v VC) String() string { return fmt.Sprint(v.c) }

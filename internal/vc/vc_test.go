@@ -1,0 +1,160 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochPacking(t *testing.T) {
+	e := MakeEpoch(7, 123456)
+	if e.TID() != 7 || e.Clock() != 123456 {
+		t.Errorf("packed epoch: tid=%d clock=%d", e.TID(), e.Clock())
+	}
+	if e.String() != "123456@7" {
+		t.Errorf("render: %s", e.String())
+	}
+	if !Epoch(0).IsZero() {
+		t.Error("zero epoch should be bottom")
+	}
+	if Epoch(0).String() != "0@0" {
+		t.Errorf("bottom renders as %s", Epoch(0))
+	}
+}
+
+func TestEpochLEQ(t *testing.T) {
+	v := New(3)
+	v.Set(1, 5)
+	cases := []struct {
+		e    Epoch
+		want bool
+	}{
+		{MakeEpoch(1, 5), true},
+		{MakeEpoch(1, 6), false},
+		{MakeEpoch(1, 1), true},
+		{MakeEpoch(2, 1), false}, // component 2 is 0
+		{Epoch(0), true},         // bottom precedes everything
+	}
+	for _, c := range cases {
+		if got := c.e.LEQ(v); got != c.want {
+			t.Errorf("%s LEQ %v = %v, want %v", c.e, v, got, c.want)
+		}
+	}
+}
+
+func TestVCJoinIsLUB(t *testing.T) {
+	a := New(3)
+	a.Set(0, 5)
+	a.Set(2, 1)
+	b := New(3)
+	b.Set(0, 2)
+	b.Set(1, 7)
+	a.Join(b)
+	want := []uint64{5, 7, 1}
+	for i, w := range want {
+		if a.Get(i) != w {
+			t.Errorf("join[%d] = %d, want %d", i, a.Get(i), w)
+		}
+	}
+}
+
+func TestVCGrowth(t *testing.T) {
+	var v VC
+	v.Set(10, 3)
+	if v.Get(10) != 3 || v.Get(5) != 0 || v.Get(100) != 0 {
+		t.Error("sparse growth broken")
+	}
+	v.Tick(10)
+	if v.Get(10) != 4 {
+		t.Error("tick failed")
+	}
+}
+
+func TestVCCopyIndependence(t *testing.T) {
+	a := New(2)
+	a.Set(0, 1)
+	b := a.Copy()
+	b.Set(0, 99)
+	if a.Get(0) != 1 {
+		t.Error("copy shares storage")
+	}
+}
+
+func TestVCAssignReuses(t *testing.T) {
+	a := New(4)
+	a.Set(3, 9)
+	b := New(2)
+	b.Set(0, 1)
+	a.Assign(b)
+	if a.Get(0) != 1 || a.Get(3) != 0 {
+		t.Errorf("assign wrong: %v", a)
+	}
+}
+
+func TestAnyGreater(t *testing.T) {
+	a := New(3)
+	a.Set(1, 4)
+	b := New(3)
+	b.Set(1, 3)
+	if got := a.AnyGreater(b); got != 1 {
+		t.Errorf("AnyGreater = %d, want 1", got)
+	}
+	b.Set(1, 4)
+	if got := a.AnyGreater(b); got != -1 {
+		t.Errorf("AnyGreater = %d, want -1", got)
+	}
+}
+
+// Property: join is commutative, associative, idempotent (pointwise max
+// semilattice).
+func TestJoinSemilatticeProperties(t *testing.T) {
+	mk := func(xs [4]uint8) VC {
+		v := New(4)
+		for i, x := range xs {
+			v.Set(i, uint64(x))
+		}
+		return v
+	}
+	comm := func(a, b [4]uint8) bool {
+		x, y := mk(a), mk(b)
+		x.Join(mk(b))
+		y2 := mk(b)
+		y2.Join(mk(a))
+		_ = y
+		for i := 0; i < 4; i++ {
+			if x.Get(i) != y2.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	idem := func(a [4]uint8) bool {
+		x := mk(a)
+		x.Join(mk(a))
+		for i := 0; i < 4; i++ {
+			if x.Get(i) != uint64(a[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	if err := quick.Check(idem, nil); err != nil {
+		t.Error("idempotence:", err)
+	}
+}
+
+// Property: e.LEQ(v) iff v dominates e's component.
+func TestEpochLEQProperty(t *testing.T) {
+	f := func(tid uint8, clock uint16, comp uint16) bool {
+		tt := int(tid % 8)
+		e := MakeEpoch(tt, uint64(clock))
+		v := New(8)
+		v.Set(tt, uint64(comp))
+		return e.LEQ(v) == (uint64(clock) <= uint64(comp) || clock == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

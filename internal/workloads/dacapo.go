@@ -1,0 +1,603 @@
+package workloads
+
+import "fmt"
+
+// This file holds the synthetic stand-ins for the DaCapo programs of
+// Table 1.  Each mirrors the dominant access structure of its namesake:
+// object-graph traversals (batik, pmd, fop), lock-heavy servers
+// (tomcat, xalan, h2), field-heavy rendering (sunflow), text indexing
+// and search (luindex, lusearch), event simulation (avrora), and an
+// interpreter loop (jython).
+
+// Batik models an SVG renderer: threads traverse disjoint subtrees of a
+// shape tree, reading geometry fields and accumulating bounds into
+// per-thread arrays.
+func Batik(s Scale) Workload {
+	depth := 10
+	passes := 3 * s.N
+	src := fmt.Sprintf(`
+class Node {
+  field left, right, x, y, w, h;
+}
+class Builder {
+  method build(depth, seed) {
+    nd = new Node;
+    nd.x = seed %% 100;
+    nd.y = (seed * 3) %% 100;
+    nd.w = seed %% 17 + 1;
+    nd.h = seed %% 13 + 1;
+    if (depth > 0) {
+      l = this.build(depth - 1, seed * 2 + 1);
+      r = this.build(depth - 1, seed * 2 + 2);
+      nd.left = l;
+      nd.right = r;
+    }
+    return nd;
+  }
+}
+class Renderer {
+  method area(nd, depth) {
+    a = 0;
+    if (depth >= 0) {
+      ww = nd.w;
+      hh = nd.h;
+      a = ww * hh + 2 * (nd.w + nd.h);
+      if (depth > 0) {
+        l = nd.left;
+        r = nd.right;
+        la = this.area(l, depth - 1);
+        ra = this.area(r, depth - 1);
+        a = a + la + ra;
+      }
+    }
+    return a;
+  }
+  method run(roots, out, passes, depth, lo, hi) {
+    for (p = 0; p < passes; p = p + 1) {
+      for (i = lo; i < hi; i = i + 1) {
+        nd = roots[i];
+        a = this.area(nd, depth);
+        out[i] = out[i] + a;
+      }
+    }
+  }
+}
+setup {
+  nroots = 8;
+  depth = %d;
+  b = new Builder;
+  roots = newarray nroots;
+  for (i = 0; i < nroots; i = i + 1) {
+    nd = b.build(depth, i * 7 + 1);
+    roots[i] = nd;
+  }
+  out = newarray nroots;
+  w = new Renderer;
+%s
+  a0 = out[0];
+  assert a0 > 0;
+}
+`, depth, forkJoinHarness("run", fmt.Sprintf("roots, out, %d, %d,", passes, depth), "nroots", s.T))
+	return Workload{Name: "batik", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "read-shared object-tree traversal"}
+}
+
+// Tomcat models a servlet container: workers repeatedly take request
+// ids from a shared queue under a lock and update per-session state.
+func Tomcat(s Scale) Workload {
+	requests := 3000 * s.N
+	src := fmt.Sprintf(`
+class Queue {
+  field next, limit;
+}
+class Session {
+  field hits, bytes;
+}
+class Server {
+  method serve(q, sessions, nsess, lo, hi) {
+    more = 1;
+    while (more == 1) {
+      acquire q;
+      r = q.next;
+      lim = q.limit;
+      if (r < lim) { q.next = r + 1; }
+      release q;
+      if (r < lim) {
+        sid = (r * 31) %% nsess;
+        sess = sessions[sid];
+        acquire sess;
+        hh = sess.hits;
+        sess.hits = hh + 1;
+        bb = sess.bytes;
+        sess.bytes = bb + r %% 100;
+        logv = sess.hits * 1000 + sess.bytes;
+        release sess;
+      } else {
+        more = 0;
+      }
+    }
+  }
+}
+setup {
+  nreq = %d;
+  nsess = 32;
+  q = new Queue;
+  q.next = 0;
+  q.limit = nreq;
+  sessions = newarray nsess;
+  for (i = 0; i < nsess; i = i + 1) {
+    sess = new Session;
+    sessions[i] = sess;
+  }
+  w = new Server;
+%s
+  total = 0;
+  for (i = 0; i < nsess; i = i + 1) {
+    sess = sessions[i];
+    hh = sess.hits;
+    total = total + hh;
+  }
+  assert total == nreq;
+}
+`, requests, forkJoinHarness("serve", "q, sessions, 32,", "1", s.T))
+	return Workload{Name: "tomcat", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "lock-dominated request processing"}
+}
+
+// Sunflow models a renderer with vector-object math: shared read-only
+// scene objects with x/y/z fields and partitioned framebuffer writes —
+// heavy proxy-compressible field traffic.
+func Sunflow(s Scale) Workload {
+	pixels := 48 * s.N
+	src := fmt.Sprintf(`
+class Vec {
+  field x, y, z;
+  method set(a, b, c) {
+    this.x = a;
+    this.y = b;
+    this.z = c;
+  }
+}
+class Render {
+  method shade(lights, nl, img, width, lo, hi) {
+    for (p = lo; p < hi; p = p + 1) {
+      px = p %% width;
+      py = p / width;
+      acc = 0;
+      for (li = 0; li < nl; li = li + 1) {
+        l = lights[li];
+        lx = l.x;
+        ly = l.y;
+        lz = l.z;
+        dx = lx - px;
+        dy = ly - py;
+        d2 = dx * dx + dy * dy + lz * lz + 1;
+        atten = (l.x + l.y + l.z) %% 7 + 1;
+        acc = acc + 255000 / (d2 * atten);
+      }
+      img[p] = acc %% 256;
+    }
+  }
+}
+setup {
+  width = %d;
+  npix = width * width;
+  nl = 24;
+  lights = newarray nl;
+  for (i = 0; i < nl; i = i + 1) {
+    v = new Vec;
+    v.set((i * 41) %% 100, (i * 59) %% 100, i + 3);
+    lights[i] = v;
+  }
+  img = newarray npix;
+  w = new Render;
+%s
+  i0 = img[0];
+  assert i0 >= 0;
+}
+`, pixels, forkJoinHarness("shade", "lights, 24, img, width,", "npix", s.T))
+	return Workload{Name: "sunflow", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "field-heavy vector math; proxy compression"}
+}
+
+// Luindex models document indexing: threads tokenize disjoint ranges of
+// a shared corpus array into private hash tables, then merge counts
+// into their own partition of the index.
+func Luindex(s Scale) Workload {
+	docs := (12000 * s.N / s.T) * s.T
+	src := fmt.Sprintf(`
+class Indexer {
+  method index(corpus, idx, nbuckets, lo, hi) {
+    table = newarray nbuckets;
+    for (d = lo; d < hi; d = d + 1) {
+      tok = corpus[d];
+      bkt = (tok * 2654435) %% nbuckets;
+      if (bkt < 0) { bkt = bkt + nbuckets; }
+      cur = table[bkt];
+      table[bkt] = cur + 1;
+      nv = table[bkt];
+    }
+    tid = lo * %d / alen(corpus);
+    base = tid * nbuckets;
+    for (bkt = 0; bkt < nbuckets; bkt = bkt + 1) {
+      c = table[bkt];
+      idx[base + bkt] = c;
+    }
+  }
+}
+setup {
+  ndocs = %d;
+  nbuckets = 64;
+  corpus = newarray ndocs;
+  for (i = 0; i < ndocs; i = i + 1) { corpus[i] = (i * 37 + 11) %% 5000; }
+  idx = newarray nbuckets * %d;
+  w = new Indexer;
+%s
+}
+`, s.T, docs, s.T, forkJoinHarness("index", "corpus, idx, 64,", "ndocs", s.T))
+	return Workload{Name: "luindex", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "sequential tokenization into private tables"}
+}
+
+// PMD models a source analyzer: every thread walks the whole shared AST
+// applying rules (read-shared pointer chasing, little coalescing).
+func PMD(s Scale) Workload {
+	depth := 11
+	passes := 6 * s.N
+	src := fmt.Sprintf(`
+class Ast {
+  field kind, left, right;
+}
+class Builder {
+  method build(depth, seed) {
+    nd = new Ast;
+    nd.kind = seed %% 12;
+    if (depth > 0) {
+      l = this.build(depth - 1, seed * 2 + 1);
+      r = this.build(depth - 1, seed * 2 + 2);
+      nd.left = l;
+      nd.right = r;
+    }
+    return nd;
+  }
+}
+class Rule {
+  method violations(nd, depth, ruleKind) {
+    v = 0;
+    k = nd.kind;
+    if (k == ruleKind) { v = 1 + nd.kind %% 2; }
+    if (depth > 0) {
+      l = nd.left;
+      r = nd.right;
+      lv = this.violations(l, depth - 1, ruleKind);
+      rv = this.violations(r, depth - 1, ruleKind);
+      v = v + lv + rv;
+    }
+    return v;
+  }
+  method run(root, results, depth, passes, lo, hi) {
+    for (p = 0; p < passes; p = p + 1) {
+      for (rk = lo; rk < hi; rk = rk + 1) {
+        v = this.violations(root, depth, rk);
+        results[rk] = v;
+      }
+    }
+  }
+}
+setup {
+  depth = %d;
+  b = new Builder;
+  root = b.build(depth, 1);
+  nrules = 12;
+  results = newarray nrules;
+  w = new Rule;
+%s
+  r0 = results[0];
+  assert r0 >= 0;
+}
+`, depth, forkJoinHarness("run", fmt.Sprintf("root, results, %d, %d,", depth, passes), "nrules", s.T))
+	return Workload{Name: "pmd", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "whole-tree read-shared rule matching"}
+}
+
+// FOP models a document formatter: a single pass over an array of block
+// objects, reading and writing several fields of each — object checks
+// coalesce per block.
+func FOP(s Scale) Workload {
+	blocks := 4000 * s.N
+	src := fmt.Sprintf(`
+class Block {
+  field x, y, w, h;
+}
+class Formatter {
+  method layout(blocksArr, lineWidth, lo, hi) {
+    cx = 0;
+    cy = 0;
+    for (i = lo; i < hi; i = i + 1) {
+      blk = blocksArr[i];
+      ww = blk.w;
+      hh = blk.h;
+      if (cx + ww > lineWidth) {
+        cx = 0;
+        cy = cy + hh;
+      }
+      blk.x = cx;
+      blk.y = cy;
+      cx = cx + blk.w;
+      endx = blk.x + blk.w;
+    }
+  }
+}
+setup {
+  nb = %d;
+  blocksArr = newarray nb;
+  for (i = 0; i < nb; i = i + 1) {
+    blk = new Block;
+    blk.w = (i * 7) %% 40 + 5;
+    blk.h = (i * 3) %% 12 + 2;
+    blocksArr[i] = blk;
+  }
+  w = new Formatter;
+%s
+  b0 = blocksArr[0];
+  x0 = b0.x;
+  assert x0 >= 0;
+}
+`, blocks, forkJoinHarness("layout", "blocksArr, 200,", "nb", s.T))
+	return Workload{Name: "fop", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "array of objects; per-object field read/write groups"}
+}
+
+// Lusearch models index search: many binary searches over a shared
+// sorted array — data-dependent indices that defeat static coalescing
+// but profit from dynamic footprints.
+func Lusearch(s Scale) Workload {
+	queries := 2500 * s.N
+	src := fmt.Sprintf(`
+class Search {
+  method find(sorted, key) {
+    lo = 0;
+    hi = alen(sorted);
+    while (lo < hi) {
+      mid = (lo + hi) / 2;
+      v = sorted[mid];
+      if (v < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  method run(sorted, hits, lo, hi) {
+    for (q = lo; q < hi; q = q + 1) {
+      key = (q * 7919) %% (alen(sorted) * 3);
+      pos = this.find(sorted, key);
+      hits[q] = pos;
+    }
+  }
+}
+setup {
+  n = 4096;
+  sorted = newarray n;
+  for (i = 0; i < n; i = i + 1) { sorted[i] = i * 3; }
+  nq = %d;
+  hits = newarray nq;
+  w = new Search;
+%s
+  h0 = hits[0];
+  assert h0 >= 0;
+}
+`, queries, forkJoinHarness("run", "sorted, hits,", "nq", s.T))
+	return Workload{Name: "lusearch", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "binary search; data-dependent indices"}
+}
+
+// Avrora models a discrete-event simulator: a shared event wheel under
+// one lock, tiny work per event — synchronization dominates.
+func Avrora(s Scale) Workload {
+	events := 4000 * s.N
+	src := fmt.Sprintf(`
+class Sim {
+  field clock, limit;
+}
+class Device {
+  field state;
+}
+class Runner {
+  method run(sim, devices, ndev, lo, hi) {
+    more = 1;
+    while (more == 1) {
+      acquire sim;
+      c = sim.clock;
+      lim = sim.limit;
+      if (c < lim) { sim.clock = c + 1; }
+      release sim;
+      if (c < lim) {
+        d = (c * 17) %% ndev;
+        dev = devices[d];
+        acquire dev;
+        st = dev.state;
+        dev.state = (st * 5 + c) %% 9973;
+        probe = dev.state %% 7;
+        release dev;
+      } else {
+        more = 0;
+      }
+    }
+  }
+}
+setup {
+  nev = %d;
+  ndev = 16;
+  sim = new Sim;
+  sim.clock = 0;
+  sim.limit = nev;
+  devices = newarray ndev;
+  for (i = 0; i < ndev; i = i + 1) {
+    dev = new Device;
+    devices[i] = dev;
+  }
+  w = new Runner;
+%s
+}
+`, events, forkJoinHarness("run", "sim, devices, 16,", "1", s.T))
+	return Workload{Name: "avrora", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "event wheel; sync-dominated tiny accesses"}
+}
+
+// Jython models an interpreter loop: bytecode dispatch over an op
+// array, thread-local operand stack, irregular constant-pool reads.
+func Jython(s Scale) Workload {
+	ops := 15000 * s.N
+	src := fmt.Sprintf(`
+class VM {
+  method exec(code, consts, out, tid, lo, hi) {
+    stack = newarray 64;
+    sp = 0;
+    acc = 0;
+    for (pc = lo; pc < hi; pc = pc + 1) {
+      op = code[pc];
+      kind = op %% 4;
+      if (kind == 0) {
+        c = consts[op %% alen(consts)];
+        stack[sp] = c;
+        pushed = stack[sp];
+        sp = (sp + 1) %% 63;
+      } else { if (kind == 1) {
+        sp2 = sp;
+        if (sp2 == 0) { sp2 = 1; }
+        v = stack[sp2 - 1];
+        acc = acc + v;
+      } else { if (kind == 2) {
+        stack[sp] = acc %% 1000;
+        sp = (sp + 1) %% 63;
+      } else {
+        acc = acc * 3 + op;
+      } } }
+    }
+    out[tid] = acc;
+  }
+}
+setup {
+  nops = %d;
+  code = newarray nops;
+  for (i = 0; i < nops; i = i + 1) { code[i] = (i * 2654435 + 7) %% 10007; }
+  consts = newarray 128;
+  for (i = 0; i < 128; i = i + 1) { consts[i] = i * 11; }
+  nt = %d;
+  out = newarray nt;
+  w = new VM;
+  hs = newarray nt;
+  for (t = 0; t < nt; t = t + 1) {
+    lo = t * nops / nt;
+    hi = (t + 1) * nops / nt;
+    h = fork w.exec(code, consts, out, t, lo, hi);
+    hs[t] = h;
+  }
+  for (t = 0; t < nt; t = t + 1) { h = hs[t]; join h; }
+}
+`, ops, s.T)
+	return Workload{Name: "jython", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "dispatch loop; mixed regular/irregular reads"}
+}
+
+// Xalan models XML transformation: threads process disjoint document
+// partitions but intern strings in a shared table under a lock.
+func Xalan(s Scale) Workload {
+	nodes := 6000 * s.N
+	src := fmt.Sprintf(`
+class Table {
+  field size;
+}
+class Transform {
+  method run(doc, interned, table, out, lo, hi) {
+    for (i = lo; i < hi; i = i + 1) {
+      v = doc[i];
+      tag = (v * 31) %% 512;
+      acquire table;
+      cur = interned[tag];
+      if (cur == 0) {
+        interned[tag] = 1;
+        sz = table.size;
+        table.size = sz + 1;
+      }
+      entry = interned[tag];
+      release table;
+      out[i] = v * 2 + tag;
+    }
+  }
+}
+setup {
+  n = %d;
+  doc = newarray n;
+  for (i = 0; i < n; i = i + 1) { doc[i] = (i * 131 + 17) %% 4096; }
+  interned = newarray 512;
+  table = new Table;
+  out = newarray n;
+  w = new Transform;
+%s
+  sz = table.size;
+  assert sz > 0;
+}
+`, nodes, forkJoinHarness("run", "doc, interned, table, out,", "n", s.T))
+	return Workload{Name: "xalan", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "partitioned transform with locked intern table"}
+}
+
+// H2 models a database: transactions acquire a table lock and touch a
+// few pseudo-random rows — lock-heavy, small irregular accesses.
+func H2(s Scale) Workload {
+	txns := 2500 * s.N
+	src := fmt.Sprintf(`
+class Row {
+  field balance, version;
+}
+class DB {
+  method run(rows, nrows, lock, lo, hi) {
+    for (tx = lo; tx < hi; tx = tx + 1) {
+      src = (tx * 7919) %% nrows;
+      dst = (src + 1 + (tx * 104729) %% (nrows - 1)) %% nrows;
+      amt = tx %% 50;
+      acquire lock;
+      rs = rows[src];
+      rd = rows[dst];
+      bs = rs.balance;
+      bd = rd.balance;
+      rs.balance = bs - amt;
+      rd.balance = bd + amt;
+      vs = rs.version;
+      rs.version = vs + 1;
+      vd = rd.version;
+      rd.version = vd + 1;
+      audit = rs.balance + rd.balance + rs.version + rd.version;
+      release lock;
+    }
+  }
+}
+setup {
+  nrows = 64;
+  rows = newarray nrows;
+  total = 0;
+  for (i = 0; i < nrows; i = i + 1) {
+    r = new Row;
+    r.balance = 1000;
+    rows[i] = r;
+    total = total + 1000;
+  }
+  lock = new DB;
+  ntx = %d;
+  w = new DB;
+%s
+  check2 = 0;
+  for (i = 0; i < nrows; i = i + 1) {
+    r = rows[i];
+    b = r.balance;
+    check2 = check2 + b;
+  }
+  assert check2 == total;
+}
+`, txns, forkJoinHarness("run", "rows, 64, lock,", "ntx", s.T))
+	return Workload{Name: "h2", Suite: "dacapo", Source: src, Threads: s.T,
+		Profile: "locked transactions over row objects"}
+}

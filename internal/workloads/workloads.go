@@ -1,0 +1,520 @@
+// Package workloads provides the benchmark programs of the evaluation:
+// BFJ ports of the JavaGrande kernels (crypt, series, lufact, moldyn,
+// montecarlo, sparse, sor, raytracer) and synthetic stand-ins for the
+// DaCapo programs (batik, tomcat, sunflow, luindex, pmd, fop, lusearch,
+// avrora, jython, xalan, h2), matching each program's characteristic
+// access structure: regular array sweeps, strided stencils, triangular
+// updates, indirection, field-heavy object math, pointer-chasing, and
+// lock-dominated transaction processing.
+//
+// All workloads are race-free (the paper fixed the racy JavaGrande
+// barriers before measuring); the precision suite verifies this against
+// the oracle on multiple schedules.
+package workloads
+
+import (
+	"fmt"
+
+	"bigfoot/internal/bfj"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name matches the paper's program name.
+	Name string
+	// Suite is "javagrande" or "dacapo".
+	Suite string
+	// Source is the BFJ program text.
+	Source string
+	// Threads is the worker thread count.
+	Threads int
+	// Profile summarizes the access structure the program models.
+	Profile string
+}
+
+// Parse returns the parsed program, panicking on malformed sources
+// (they are compiled into the binary and covered by tests).
+func (w Workload) Parse() *bfj.Program { return bfj.MustParse(w.Source) }
+
+// Scale multiplies the data-size parameters of every workload; 1 is the
+// default benchmarking size (~10^5–10^6 heap accesses per program).
+type Scale struct {
+	N int // multiplicative size factor, >= 1
+	T int // worker threads per program
+}
+
+// DefaultScale is used by the bench harness.
+func DefaultScale() Scale { return Scale{N: 1, T: 4} }
+
+// TestScale is small enough for precision sweeps over many schedules.
+func TestScale() Scale { return Scale{N: 1, T: 2} }
+
+// All returns every workload at the given scale, in the paper's Table 1
+// order.
+func All(s Scale) []Workload {
+	if s.N < 1 {
+		s.N = 1
+	}
+	if s.T < 2 {
+		s.T = 2
+	}
+	return []Workload{
+		Crypt(s), Series(s), LUFact(s), MolDyn(s), MonteCarlo(s),
+		Sparse(s), SOR(s),
+		Batik(s), RayTracer(s), Tomcat(s), Sunflow(s), Luindex(s),
+		PMD(s), FOP(s), Lusearch(s), Avrora(s), Jython(s), Xalan(s), H2(s),
+	}
+}
+
+// ByName returns the named workload at the given scale.
+func ByName(name string, s Scale) (Workload, bool) {
+	for _, w := range All(s) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// forkJoinHarness emits the setup code that forks T workers running
+// w.<method>(args..., lo, hi) over [0,n) partitions and joins them.
+func forkJoinHarness(method, args string, n string, threads int) string {
+	return fmt.Sprintf(`
+  nt = %d;
+  hs = newarray nt;
+  for (t = 0; t < nt; t = t + 1) {
+    lo = t * (%s) / nt;
+    hi = (t + 1) * (%s) / nt;
+    h = fork w.%s(%s lo, hi);
+    hs[t] = h;
+  }
+  for (t = 0; t < nt; t = t + 1) { h = hs[t]; join h; }
+`, threads, n, n, method, args)
+}
+
+// barrierClass is the shared BFJ barrier: lock-protected arrival count
+// with a volatile generation flag; the last arriver publishes the new
+// generation, spinners acquire it via the volatile read.
+const barrierClass = `
+class Barrier {
+  field count, parties;
+  volatile field gen;
+  method init(n) {
+    this.count = 0;
+    this.parties = n;
+    this.gen = 0;
+  }
+  method await() {
+    acquire this;
+    c = this.count + 1;
+    g = this.gen;
+    if (c == this.parties) {
+      this.count = 0;
+      this.gen = g + 1;
+      release this;
+    } else {
+      this.count = c;
+      release this;
+      gg = this.gen;
+      while (gg == g) { gg = this.gen; }
+    }
+  }
+}
+`
+
+// ---------------------------------------------------------------------------
+// JavaGrande kernels
+// ---------------------------------------------------------------------------
+
+// Crypt models the JGF crypt kernel: block-partitioned encryption and
+// decryption sweeps over large byte arrays — the best case for static
+// check coalescing (whole-range checks, coarse shadows).
+func Crypt(s Scale) Workload {
+	n := 24000 * s.N
+	src := fmt.Sprintf(`
+class Crypt {
+  method encrypt(z, x, lo, hi) {
+    for (i = lo; i < hi; i = i + 1) {
+      zi = z[i];
+      x[i] = (zi * 7 + 11) %% 256;
+    }
+  }
+  method decrypt(x, y, lo, hi) {
+    for (i = lo; i < hi; i = i + 1) {
+      xi = x[i];
+      y[i] = ((xi - 11) * 183) %% 256;
+    }
+  }
+}
+setup {
+  n = %d;
+  z = newarray n;
+  x = newarray n;
+  y = newarray n;
+  for (i = 0; i < n; i = i + 1) { z[i] = (i * 31 + 7) %% 256; }
+  w = new Crypt;
+%s
+%s
+  ok = 1;
+  for (i = 0; i < n; i = i + 64) {
+    zi = z[i];
+    yi = y[i];
+    if (((zi * 7 + 11) %% 256 - 11) * 183 %% 256 != yi) { ok = 0; }
+  }
+  assert ok == 1;
+}
+`, n,
+		forkJoinHarness("encrypt", "z, x,", "n", s.T),
+		forkJoinHarness("decrypt", "x, y,", "n", s.T))
+	return Workload{Name: "crypt", Suite: "javagrande", Source: src, Threads: s.T,
+		Profile: "regular block-partitioned array sweeps"}
+}
+
+// Series models the JGF series kernel: tiny result arrays, enormous
+// arithmetic per element — negligible checking overhead for every
+// detector (the paper's 1% case).
+func Series(s Scale) Workload {
+	n := 60 * s.N
+	inner := 600
+	src := fmt.Sprintf(`
+class Series {
+  method coeffs(a, b, lo, hi) {
+    for (i = lo; i < hi; i = i + 1) {
+      sa = 0;
+      sb = 0;
+      for (k = 1; k < %d; k = k + 1) {
+        t = (i * k) %% 97;
+        sa = sa + t * t;
+        sb = sb + t * (97 - t);
+      }
+      a[i] = sa;
+      b[i] = sb;
+    }
+  }
+}
+setup {
+  n = %d;
+  a = newarray n;
+  b = newarray n;
+  w = new Series;
+%s
+  s0 = a[0];
+  assert s0 >= 0;
+}
+`, inner, n, forkJoinHarness("coeffs", "a, b,", "n", s.T))
+	return Workload{Name: "series", Suite: "javagrande", Source: src, Threads: s.T,
+		Profile: "compute-bound, few accesses"}
+}
+
+// LUFact models the JGF lufact kernel: Gaussian elimination with a
+// triangular update pattern.  Row segments have iteration-dependent
+// bounds, so BigFoot coalesces each row statically but the array shadow
+// degenerates to fine-grained (the paper's lufact anomaly).
+func LUFact(s Scale) Workload {
+	n := 72 * s.N
+	src := fmt.Sprintf(`%s
+class LU {
+  method eliminate(m, n, bar, t, nt) {
+    for (k = 0; k < n - 1; k = k + 1) {
+      rows = n - 1 - k;
+      lo = k + 1 + t * rows / nt;
+      hi = k + 1 + (t + 1) * rows / nt;
+      base = m[k * n + k];
+      for (i = lo; i < hi; i = i + 1) {
+        pivot = m[i * n + k];
+        if (base != 0) {
+          f = pivot / base;
+          for (j = k; j < n; j = j + 1) {
+            mij = m[i * n + j];
+            mkj = m[k * n + j];
+            m[i * n + j] = mij - f * mkj;
+          }
+        }
+      }
+      bar.await();
+    }
+  }
+}
+setup {
+  n = %d;
+  m = newarray n * n;
+  for (i = 0; i < n * n; i = i + 1) { m[i] = (i * 17 + 3) %% 19 + 1; }
+  bar = new Barrier;
+  bar.init(%d);
+  w = new LU;
+  nt = %d;
+  hs = newarray nt;
+  for (t = 0; t < nt; t = t + 1) {
+    h = fork w.eliminate(m, n, bar, t, nt);
+    hs[t] = h;
+  }
+  for (t = 0; t < nt; t = t + 1) { h = hs[t]; join h; }
+  d = m[(n - 1) * n + (n - 1)];
+  assert d == d;
+}
+`, barrierClass, n, s.T, s.T)
+	return Workload{Name: "lufact", Suite: "javagrande", Source: src, Threads: s.T,
+		Profile: "triangular updates; coalesced checks, fine-grained shadows"}
+}
+
+// MolDyn models the JGF moldyn kernel: N-body molecular dynamics with
+// force and update phases separated by barriers; every thread reads all
+// positions and writes its own force/velocity partition.
+func MolDyn(s Scale) Workload {
+	np := 220 * s.N
+	iters := 4
+	src := fmt.Sprintf(`%s
+class MolDyn {
+  method run(xp, yp, xf, yf, xv, yv, bar, iters, np, lo, hi) {
+    for (it = 0; it < iters; it = it + 1) {
+      for (i = lo; i < hi; i = i + 1) {
+        fx = 0;
+        fy = 0;
+        xi = xp[i];
+        yi = yp[i];
+        for (j = 0; j < np; j = j + 1) {
+          xj = xp[j];
+          yj = yp[j];
+          dx = xi - xj;
+          dy = yi - yj;
+          d2 = dx * dx + dy * dy + 1;
+          fx = fx + dx * 1000 / d2;
+          fy = fy + dy * 1000 / d2;
+        }
+        xf[i] = fx;
+        yf[i] = fy;
+      }
+      bar.await();
+      for (i = lo; i < hi; i = i + 1) {
+        vx = xv[i] + xf[i];
+        vy = yv[i] + yf[i];
+        xv[i] = vx;
+        yv[i] = vy;
+        xp[i] = xp[i] + xv[i] / 100;
+        yp[i] = yp[i] + yv[i] / 100;
+      }
+      bar.await();
+    }
+  }
+}
+setup {
+  np = %d;
+  iters = %d;
+  xp = newarray np;  yp = newarray np;
+  xf = newarray np;  yf = newarray np;
+  xv = newarray np;  yv = newarray np;
+  for (i = 0; i < np; i = i + 1) {
+    xp[i] = (i * 37) %% 1000;
+    yp[i] = (i * 61) %% 1000;
+  }
+  bar = new Barrier;
+  bar.init(%d);
+  w = new MolDyn;
+  nt = %d;
+  hs = newarray nt;
+  for (t = 0; t < nt; t = t + 1) {
+    lo = t * np / nt;
+    hi = (t + 1) * np / nt;
+    h = fork w.run(xp, yp, xf, yf, xv, yv, bar, iters, np, lo, hi);
+    hs[t] = h;
+  }
+  for (t = 0; t < nt; t = t + 1) { h = hs[t]; join h; }
+}
+`, barrierClass, np, iters, s.T, s.T)
+	return Workload{Name: "moldyn", Suite: "javagrande", Source: src, Threads: s.T,
+		Profile: "barrier phases; global reads, partitioned writes"}
+}
+
+// MonteCarlo models the JGF montecarlo kernel: independent tasks build
+// thread-local path arrays and publish one result each under a lock.
+func MonteCarlo(s Scale) Workload {
+	tasks := 64 * s.N
+	src := fmt.Sprintf(`
+class MC {
+  method run(results, lock, pathLen, lo, hi) {
+    for (task = lo; task < hi; task = task + 1) {
+      path = newarray pathLen;
+      seed = task * 2654435 + 12345;
+      for (k = 0; k < pathLen; k = k + 1) {
+        seed = (seed * 1103515 + 12345) %% 2147483647;
+        path[k] = seed %% 1000;
+        pv = path[k];
+      }
+      sum = 0;
+      for (k = 0; k < pathLen; k = k + 1) { sum = sum + path[k]; }
+      acquire lock;
+      results[task] = sum / pathLen;
+      release lock;
+    }
+  }
+}
+setup {
+  tasks = %d;
+  results = newarray tasks;
+  lock = new MC;
+  w = new MC;
+%s
+  r0 = results[0];
+  assert r0 >= 0;
+}
+`, tasks, forkJoinHarness("run", "results, lock, 600,", "tasks", s.T))
+	return Workload{Name: "montecarlo", Suite: "javagrande", Source: src, Threads: s.T,
+		Profile: "thread-local path arrays, locked result publication"}
+}
+
+// Sparse models the JGF sparse matmult kernel: indirection through
+// row/col index arrays.  Index-array reads coalesce; the indirect
+// y[row[k]] accesses do not, but the read-modify-write pair needs only
+// the write check.
+func Sparse(s Scale) Workload {
+	nz := (30000 * s.N / s.T) * s.T
+	src := fmt.Sprintf(`
+class Sparse {
+  method multiply(val, row, col, x, y, lo, hi) {
+    for (k = lo; k < hi; k = k + 1) {
+      r = row[k];
+      c = col[k];
+      v = val[k];
+      xc = x[c];
+      yr = y[r];
+      y[r] = yr + v * xc;
+    }
+  }
+}
+setup {
+  nz = %d;
+  rows = nz / 10;
+  val = newarray nz;
+  row = newarray nz;
+  col = newarray nz;
+  x = newarray rows;
+  y = newarray rows;
+  nt = %d;
+  for (k = 0; k < nz; k = k + 1) {
+    val[k] = (k * 13) %% 100 + 1;
+    // Partition target rows by the owning thread so threads never
+    // write the same y element (race-free indirection).
+    t = k * nt / nz;
+    block = rows / nt;
+    row[k] = t * block + (k * 7919) %% block;
+    col[k] = (k * 104729) %% rows;
+  }
+  for (i = 0; i < rows; i = i + 1) { x[i] = i %% 50; }
+  w = new Sparse;
+%s
+  y0 = y[0];
+  assert y0 >= 0;
+}
+`, nz, s.T, forkJoinHarness("multiply", "val, row, col, x, y,", "nz", s.T))
+	return Workload{Name: "sparse", Suite: "javagrande", Source: src, Threads: s.T,
+		Profile: "index-array indirection; partial static coalescing"}
+}
+
+// SOR models the JGF sor kernel: red-black successive over-relaxation on
+// a grid, with strided inner sweeps and barrier-separated colors.
+func SOR(s Scale) Workload {
+	n := 96 * s.N
+	iters := 6
+	src := fmt.Sprintf(`%s
+class SOR {
+  method sweep(g, n, iters, bar, lo, hi) {
+    res = 0;
+    for (it = 0; it < iters; it = it + 1) {
+      for (color = 0; color < 2; color = color + 1) {
+        for (i = lo; i < hi; i = i + 1) {
+          start = 1 + (i + color) %% 2;
+          for (j = start; j < n - 1; j = j + 2) {
+            up = g[(i - 1) * n + j];
+            down = g[(i + 1) * n + j];
+            left = g[i * n + j - 1];
+            right = g[i * n + j + 1];
+            g[i * n + j] = (up + down + left + right) / 4;
+            res = res + g[i * n + j];
+          }
+        }
+        bar.await();
+      }
+    }
+  }
+}
+setup {
+  n = %d;
+  iters = %d;
+  g = newarray n * n;
+  for (i = 0; i < n * n; i = i + 1) { g[i] = (i * 7) %% 100; }
+  bar = new Barrier;
+  bar.init(%d);
+  w = new SOR;
+  nt = %d;
+  inner = n - 2;
+  hs = newarray nt;
+  for (t = 0; t < nt; t = t + 1) {
+    lo = 1 + t * inner / nt;
+    hi = 1 + (t + 1) * inner / nt;
+    h = fork w.sweep(g, n, iters, bar, lo, hi);
+    hs[t] = h;
+  }
+  for (t = 0; t < nt; t = t + 1) { h = hs[t]; join h; }
+}
+`, barrierClass, n, iters, s.T, s.T)
+	return Workload{Name: "sor", Suite: "javagrande", Source: src, Threads: s.T,
+		Profile: "strided stencil sweeps with barrier phases"}
+}
+
+// RayTracer models the JGF raytracer: field-heavy inner loops over a
+// small scene of sphere objects — the showcase for static field proxy
+// compression (x/y/z/r always checked together).
+func RayTracer(s Scale) Workload {
+	pixels := 56 * s.N
+	src := fmt.Sprintf(`
+class Sphere {
+  field x, y, z, r;
+  method set(px, py, pz, pr) {
+    this.x = px;
+    this.y = py;
+    this.z = pz;
+    this.r = pr;
+  }
+}
+class Tracer {
+  method render(scene, img, width, nsph, lo, hi) {
+    for (p = lo; p < hi; p = p + 1) {
+      px = p %% width;
+      py = p / width;
+      best = 1000000;
+      for (sp = 0; sp < nsph; sp = sp + 1) {
+        o = scene[sp];
+        ox = o.x;
+        oy = o.y;
+        oz = o.z;
+        orr = o.r;
+        dx = ox - px;
+        dy = oy - py;
+        d2 = dx * dx + dy * dy + oz * oz - orr * orr;
+        glow = (o.x + o.y) %% 17;
+        if (d2 + glow < best) { best = d2 + glow; }
+      }
+      img[p] = best %% 256;
+    }
+  }
+}
+setup {
+  width = %d;
+  npix = width * width;
+  nsph = 16;
+  scene = newarray nsph;
+  for (sp = 0; sp < nsph; sp = sp + 1) {
+    o = new Sphere;
+    o.set((sp * 37) %% 100, (sp * 53) %% 100, sp + 5, sp %% 7 + 2);
+    scene[sp] = o;
+  }
+  img = newarray npix;
+  w = new Tracer;
+%s
+  i0 = img[0];
+  assert i0 >= 0;
+}
+`, pixels, forkJoinHarness("render", "scene, img, width, 16,", "npix", s.T))
+	return Workload{Name: "raytracer", Suite: "javagrande", Source: src, Threads: s.T,
+		Profile: "field-heavy object reads; proxy compression showcase"}
+}
