@@ -129,12 +129,15 @@ func BenchmarkDetector(b *testing.B) {
 		bigfoot.SlimCard, bigfoot.BigFoot,
 	} {
 		mode := mode
-		inst := prog.Instrument(mode)
+		compiled, err := prog.Instrument(mode).Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Run(mode.String(), func(b *testing.B) {
 			var rep *bigfoot.Report
 			for i := 0; i < b.N; i++ {
 				var err error
-				rep, err = inst.Run(bigfoot.RunConfig{Seed: 42})
+				rep, err = compiled.Run(bigfoot.RunConfig{Seed: 42})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -185,12 +188,13 @@ func ablate(b *testing.B, base *bfj.Program) {
 		v := v
 		prog := analysis.New(base, v.opts).Instrument()
 		prox := proxy.Analyze(prog)
+		compiled := interp.MustCompile(prog)
 		b.Run(v.name, func(b *testing.B) {
 			var checks uint64
 			var shadow uint64
 			for i := 0; i < b.N; i++ {
 				d := detector.New(detector.Config{Name: v.name, Footprints: true, Proxies: prox})
-				c, err := interp.Run(prog, d, interp.Options{Seed: 42})
+				c, err := compiled.Run(d, interp.Options{Seed: 42})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -227,10 +231,10 @@ func BenchmarkStaticAnalysis(b *testing.B) {
 // BenchmarkInterpreter measures base (uninstrumented) execution speed.
 func BenchmarkInterpreter(b *testing.B) {
 	w, _ := workloads.ByName("crypt", workloads.Scale{N: 1, T: 2})
-	prog := bfj.MustParse(w.Source)
+	compiled := interp.MustCompile(bfj.MustParse(w.Source))
 	var steps uint64
 	for i := 0; i < b.N; i++ {
-		c, err := interp.Run(prog, interp.NopHook{}, interp.Options{Seed: 1})
+		c, err := compiled.Run(interp.NopHook{}, interp.Options{Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}

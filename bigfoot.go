@@ -5,12 +5,21 @@
 //
 // The package operates on BFJ programs (the paper's idealized Java-like
 // language, extended with the full-language features of the authors'
-// implementation).  The pipeline is:
+// implementation).  The pipeline is staged — Parse → Instrument →
+// Compile → Run — with a reusable artifact at each stage:
 //
 //	prog, _ := bigfoot.Parse(src)              // BFJ source text
 //	inst := prog.Instrument(bigfoot.BigFoot)   // static check placement
-//	rep, _ := inst.Run(bigfoot.RunConfig{})    // execute + detect
-//	fmt.Println(rep.Races)
+//	c, _ := inst.Compile()                     // compile once
+//	for seed := int64(0); seed < 10; seed++ {  // run many times
+//		rep, _ := c.Run(bigfoot.RunConfig{Seed: seed})
+//		fmt.Println(rep.Races)
+//	}
+//
+// The Compiled artifact is immutable and goroutine-safe: runs across
+// seeds (or in parallel) share one compilation.  Instrumented.Run
+// remains as the one-shot convenience and caches its compilation, so
+// repeated Run calls also pay the compile cost only once.
 //
 // Five detector configurations reproduce the paper's comparison:
 // FastTrack, RedCard, SlimState, SlimCard, and BigFoot.  See DESIGN.md
@@ -21,6 +30,7 @@ package bigfoot
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"bigfoot/internal/analysis"
 	"bigfoot/internal/bfj"
@@ -101,6 +111,10 @@ type Instrumented struct {
 
 	ast     *bfj.Program
 	proxies *proxy.Table
+
+	once     sync.Once
+	compiled *Compiled
+	compErr  error
 }
 
 // Instrument places race checks according to the mode's placement
@@ -167,21 +181,47 @@ type Report struct {
 	ShadowWords  uint64
 }
 
-// Run executes the instrumented program under its mode's detector.
-func (i *Instrumented) Run(cfg RunConfig) (*Report, error) {
-	useFP := i.Mode == SlimState || i.Mode == SlimCard || i.Mode == BigFoot
-	d := detector.New(detector.Config{
-		Name:       i.Mode.String(),
-		Footprints: useFP,
-		Proxies:    i.proxies,
+// Compiled is an instrumented program lowered to the interpreter's
+// reusable execution artifact.  It is immutable and goroutine-safe:
+// one Compiled backs any number of Run calls across seeds, including
+// concurrent ones.
+type Compiled struct {
+	Mode  Mode
+	Stats AnalysisStats
+
+	art     *interp.Compiled
+	proxies *proxy.Table
+}
+
+// Compile lowers the instrumented program for execution.  The result is
+// cached: every call (and every Instrumented.Run) shares one artifact.
+func (i *Instrumented) Compile() (*Compiled, error) {
+	i.once.Do(func() {
+		art, err := interp.Compile(i.ast)
+		if err != nil {
+			i.compErr = err
+			return
+		}
+		i.compiled = &Compiled{Mode: i.Mode, Stats: i.Stats, art: art, proxies: i.proxies}
 	})
-	c, err := interp.Run(i.ast, d, interp.Options{Seed: cfg.Seed, Out: cfg.Out, MaxSteps: cfg.MaxSteps})
+	return i.compiled, i.compErr
+}
+
+// Run executes the compiled program under its mode's detector.
+func (c *Compiled) Run(cfg RunConfig) (*Report, error) {
+	useFP := c.Mode == SlimState || c.Mode == SlimCard || c.Mode == BigFoot
+	d := detector.New(detector.Config{
+		Name:       c.Mode.String(),
+		Footprints: useFP,
+		Proxies:    c.proxies,
+	})
+	cnt, err := c.art.Run(d, interp.Options{Seed: cfg.Seed, Out: cfg.Out, MaxSteps: cfg.MaxSteps})
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
-		Accesses:     c.Accesses(),
-		Checks:       c.CheckItems,
+		Accesses:     cnt.Accesses(),
+		Checks:       cnt.CheckItems,
 		ShadowOps:    d.Stats.ShadowOps,
 		FootprintOps: d.Stats.FootprintOps,
 		ShadowWords:  d.Stats.PeakWords,
@@ -193,6 +233,16 @@ func (i *Instrumented) Run(cfg RunConfig) (*Report, error) {
 		rep.Races = append(rep.Races, Race{Location: r.Desc, Threads: [2]int{r.PrevTID, r.CurTID}})
 	}
 	return rep, nil
+}
+
+// Run executes the instrumented program under its mode's detector,
+// compiling on first use and reusing the cached artifact afterwards.
+func (i *Instrumented) Run(cfg RunConfig) (*Report, error) {
+	c, err := i.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(cfg)
 }
 
 // RunBase executes the original (uninstrumented) program, returning its

@@ -6,11 +6,15 @@
 //
 //	bfbench [-figure2] [-figure8] [-table1] [-table2] [-all]
 //	        [-scale N] [-threads T] [-trials K] [-seed S] [-program name]
+//	        [-parallel N] [-timeout D]
 //
-// Without a selection flag, -all is assumed.
+// Without a selection flag, -all is assumed.  -parallel bounds the
+// evaluation worker pool (0 = GOMAXPROCS); results are identical at any
+// worker count.  -timeout cancels the run, rendering whatever completed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,8 +34,10 @@ func main() {
 		threads = flag.Int("threads", 4, "worker threads per program")
 		trials  = flag.Int("trials", 3, "timing trials per configuration (median)")
 		seed    = flag.Int64("seed", 42, "scheduler seed")
-		program = flag.String("program", "", "run a single named workload")
-		quiet   = flag.Bool("q", false, "suppress progress lines")
+		program  = flag.String("program", "", "run a single named workload")
+		parallel = flag.Int("parallel", 0, "evaluation worker count (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
+		quiet    = flag.Bool("q", false, "suppress progress lines")
 	)
 	flag.Parse()
 	if !*fig2 && !*fig8 && !*tab1 && !*tab2 {
@@ -39,13 +45,21 @@ func main() {
 	}
 
 	opts := harness.Options{
-		Scale:  workloads.Scale{N: *scale, T: *threads},
-		Seed:   *seed,
-		Trials: *trials,
+		Scale:    workloads.Scale{N: *scale, T: *threads},
+		Seed:     *seed,
+		Trials:   *trials,
+		Parallel: *parallel,
 	}
 	r := &harness.Runner{Opts: opts}
 	if !*quiet {
 		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var results []*harness.ProgramResult
@@ -62,11 +76,15 @@ func main() {
 			results = append(results, pr)
 		}
 	} else {
-		results, err = r.RunAll()
+		results, err = r.RunAllContext(ctx)
 	}
 	if err != nil {
+		// Failed or cancelled workloads are reported, but completed
+		// programs still render below.
 		fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
-		os.Exit(1)
+		if len(results) == 0 {
+			os.Exit(1)
+		}
 	}
 
 	if *all || *fig2 {
@@ -81,5 +99,8 @@ func main() {
 	}
 	if *all || *tab2 {
 		fmt.Println(harness.Table2(results))
+	}
+	if err != nil {
+		os.Exit(1)
 	}
 }

@@ -4,15 +4,18 @@
 // Usage:
 //
 //	bigfoot [-mode bigfoot|fasttrack|redcard|slimstate|slimcard]
-//	        [-seed N] [-show] [-stats] file.bfj
+//	        [-seed N] [-runs K] [-show] [-stats] file.bfj
 //
 // -show prints the instrumented program (with placed checks) instead of
-// running it.
+// running it.  -runs K explores K consecutive schedule seeds starting at
+// -seed, compiling the program once and reusing the artifact for every
+// run; races are deduplicated across seeds.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -35,13 +38,14 @@ var modes = map[string]bigfoot.Mode{
 func main() {
 	var (
 		modeName = flag.String("mode", "bigfoot", "detector: fasttrack|redcard|slimstate|slimcard|bigfoot")
-		seed     = flag.Int64("seed", 0, "schedule seed")
+		seed     = flag.Int64("seed", 0, "first schedule seed")
+		runs     = flag.Int("runs", 1, "number of consecutive seeds to run (compiled once)")
 		show     = flag.Bool("show", false, "print the instrumented program and exit")
 		stats    = flag.Bool("stats", false, "print check/shadow statistics")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bigfoot [-mode M] [-seed N] [-show] [-stats] file.bfj")
+	if flag.NArg() != 1 || *runs < 1 {
+		fmt.Fprintln(os.Stderr, "usage: bigfoot [-mode M] [-seed N] [-runs K] [-show] [-stats] file.bfj")
 		os.Exit(2)
 	}
 	mode, ok := modes[strings.ToLower(*modeName)]
@@ -64,20 +68,41 @@ func main() {
 		fmt.Print(inst.Text())
 		return
 	}
-	rep, err := inst.Run(bigfoot.RunConfig{Seed: *seed, Out: os.Stdout})
+	// Compile once; every seed below reuses the artifact.
+	compiled, err := inst.Compile()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "runtime error: %v\n", err)
+		fmt.Fprintf(os.Stderr, "compile error: %v\n", err)
 		os.Exit(1)
 	}
-	if *stats {
-		fmt.Fprintf(os.Stderr, "mode=%s accesses=%d checks=%d ratio=%.3f shadowOps=%d shadowWords=%d\n",
-			mode, rep.Accesses, rep.Checks, rep.CheckRatio, rep.ShadowOps, rep.ShadowWords)
+	seen := make(map[string]bool)
+	var races []bigfoot.Race
+	for k := 0; k < *runs; k++ {
+		s := *seed + int64(k)
+		var out io.Writer
+		if k == 0 {
+			out = os.Stdout // print output once; later seeds only hunt races
+		}
+		rep, err := compiled.Run(bigfoot.RunConfig{Seed: s, Out: out})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "runtime error (seed %d): %v\n", s, err)
+			os.Exit(1)
+		}
+		if *stats && k == 0 {
+			fmt.Fprintf(os.Stderr, "mode=%s accesses=%d checks=%d ratio=%.3f shadowOps=%d shadowWords=%d\n",
+				mode, rep.Accesses, rep.Checks, rep.CheckRatio, rep.ShadowOps, rep.ShadowWords)
+		}
+		for _, r := range rep.Races {
+			if !seen[r.Location] {
+				seen[r.Location] = true
+				races = append(races, r)
+			}
+		}
 	}
-	if len(rep.Races) == 0 {
+	if len(races) == 0 {
 		fmt.Fprintln(os.Stderr, "no races detected")
 		return
 	}
-	for _, r := range rep.Races {
+	for _, r := range races {
 		fmt.Fprintf(os.Stderr, "RACE on %s between threads %d and %d\n", r.Location, r.Threads[0], r.Threads[1])
 	}
 	os.Exit(3)

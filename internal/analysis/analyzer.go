@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"runtime"
+	"sync"
 	"time"
 
 	"bigfoot/internal/bfj"
@@ -19,6 +21,9 @@ type Options struct {
 	// NoLoopInvariants disables loop-invariant inference (ablation):
 	// checks cannot move out of loops.
 	NoLoopInvariants bool
+	// Parallel bounds the worker pool analyzing independent bodies;
+	// 0 means GOMAXPROCS, 1 forces sequential analysis.
+	Parallel int
 }
 
 // DefaultOptions returns the standard configuration.
@@ -51,27 +56,84 @@ func New(prog *bfj.Program, opts Options) *Analyzer {
 	return &Analyzer{prog: prog, kills: killset.Compute(prog), opts: opts}
 }
 
+// bodyJob is one independently analyzable body: its input, where the
+// instrumented block goes, and the per-job stats to merge afterwards.
+type bodyJob struct {
+	body   *bfj.Block
+	params []expr.Var
+	method bool
+	assign func(*bfj.Block)
+	stats  Stats
+}
+
 // Instrument returns a copy of the program with BigFoot checks inserted
 // into every method, setup, and thread body.
+//
+// Bodies are analyzed concurrently on a bounded worker pool: the kill
+// sets are computed up front in New and read-only thereafter, every
+// other input (program AST, options) is immutable during analysis, and
+// each body's output is written to its own slot, so the instrumented
+// program and the counting Stats are identical at every pool size.
 func (a *Analyzer) Instrument() *bfj.Program {
 	out := a.prog.Clone()
+	var jobs []*bodyJob
 	for _, c := range out.Classes {
 		for _, m := range c.Methods {
-			start := time.Now()
-			m.Body = a.AnalyzeBody(m.Body, m.Params)
-			a.Stats.AnalysisTime += time.Since(start)
-			a.Stats.MethodsAnalyzed++
-			a.Stats.BodiesAnalyzed++
+			m := m
+			jobs = append(jobs, &bodyJob{body: m.Body, params: m.Params, method: true,
+				assign: func(b *bfj.Block) { m.Body = b }})
 		}
 	}
 	// Setup runs single-threaded before the threads exist, so its
 	// accesses cannot race; no checks are needed there (mirrors the
 	// standard treatment of initialization code).
 	for i, t := range out.Threads {
-		start := time.Now()
-		out.Threads[i] = a.AnalyzeBody(t, nil)
-		a.Stats.AnalysisTime += time.Since(start)
-		a.Stats.BodiesAnalyzed++
+		i, t := i, t
+		jobs = append(jobs, &bodyJob{body: t,
+			assign: func(b *bfj.Block) { out.Threads[i] = b }})
+	}
+
+	workers := a.opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	next := make(chan *bodyJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				// A throwaway sub-analyzer shares the read-only inputs but
+				// owns its Stats, so the passes never write shared state.
+				sub := &Analyzer{prog: a.prog, kills: a.kills, opts: a.opts}
+				start := time.Now()
+				j.assign(sub.AnalyzeBody(j.body, j.params))
+				sub.Stats.AnalysisTime = time.Since(start)
+				sub.Stats.BodiesAnalyzed = 1
+				if j.method {
+					sub.Stats.MethodsAnalyzed = 1
+				}
+				j.stats = sub.Stats
+			}
+		}()
+	}
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	// Merge per-job stats in job order (sums, so any order would do;
+	// job order keeps the reasoning obvious).
+	for _, j := range jobs {
+		a.Stats.MethodsAnalyzed += j.stats.MethodsAnalyzed
+		a.Stats.BodiesAnalyzed += j.stats.BodiesAnalyzed
+		a.Stats.AnalysisTime += j.stats.AnalysisTime
+		a.Stats.ChecksPlaced += j.stats.ChecksPlaced
+		a.Stats.CheckItems += j.stats.CheckItems
 	}
 	return out
 }

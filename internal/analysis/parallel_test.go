@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"testing"
+
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/workloads"
+)
+
+// TestInstrumentDeterministicAcrossPoolSizes pins the concurrency
+// contract of Instrument: the instrumented program text and every
+// counting stat must be identical whether bodies are analyzed by one
+// worker or many.  (Run under -race this also exercises the pool for
+// data races even when GOMAXPROCS is low.)
+func TestInstrumentDeterministicAcrossPoolSizes(t *testing.T) {
+	for _, name := range []string{"moldyn", "raytracer", "tomcat"} {
+		w, ok := workloads.ByName(name, workloads.TestScale())
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		prog := bfj.MustParse(w.Source)
+
+		seq := New(prog, Options{MaxLoopIters: 12, Parallel: 1})
+		seqOut := bfj.FormatProgram(seq.Instrument())
+
+		for _, workers := range []int{4, 16} {
+			par := New(prog, Options{MaxLoopIters: 12, Parallel: workers})
+			parOut := bfj.FormatProgram(par.Instrument())
+			if parOut != seqOut {
+				t.Errorf("%s: instrumented program differs at Parallel=%d", name, workers)
+			}
+			if par.Stats.ChecksPlaced != seq.Stats.ChecksPlaced ||
+				par.Stats.CheckItems != seq.Stats.CheckItems ||
+				par.Stats.BodiesAnalyzed != seq.Stats.BodiesAnalyzed ||
+				par.Stats.MethodsAnalyzed != seq.Stats.MethodsAnalyzed {
+				t.Errorf("%s: stats differ at Parallel=%d: %+v vs %+v",
+					name, workers, par.Stats, seq.Stats)
+			}
+		}
+	}
+}

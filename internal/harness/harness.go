@@ -5,17 +5,30 @@
 // Table 2.
 //
 // Methodology (mirroring §6): each program is instrumented once per
-// placement mode, then executed on the same deterministic schedule for
-// the base (uninstrumented) configuration and each detector.  Overhead
-// is (detector time − base time) / base time over the median of
-// repeated trials; check ratio is executed check items / worker heap
-// accesses; memory overhead is peak shadow words / base data words.
+// placement mode and compiled once into a reusable execution artifact,
+// then executed on the same deterministic schedule for the base
+// (uninstrumented) configuration and each detector.  Overhead is
+// (detector time − base time) / base time over the minimum of repeated
+// trials; check ratio is executed check items / worker heap accesses;
+// memory overhead is peak shadow words / base data words.
+//
+// Execution is organized as a staged pipeline: a preparation stage
+// parses, instruments, and compiles each workload, then a job queue
+// fans the independent (program, variant, trial) executions out over a
+// bounded worker pool.  Every counter the harness reports is
+// deterministic (seeded schedules, trial-invariant), so the aggregated
+// results are identical at every worker count; only wall-clock timings
+// vary.
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bigfoot/internal/analysis"
@@ -96,7 +109,8 @@ type ProgramResult struct {
 	StaticTime      time.Duration
 	ChecksInserted  int // static BigFoot check statements
 
-	// Field/array check split for Figure 8.
+	// Field/array check split for Figure 8, counted by a hook composed
+	// onto the FT and BF detector runs.
 	BFFieldChecks uint64
 	BFArrayChecks uint64
 	FTFieldChecks uint64
@@ -114,7 +128,13 @@ type ProgramResult struct {
 type Options struct {
 	Scale  workloads.Scale
 	Seed   int64
-	Trials int // timing trials per configuration (median reported)
+	Trials int // timing trials per configuration (minimum reported)
+	// Parallel bounds the worker pool executing (program, variant,
+	// trial) jobs; 0 means GOMAXPROCS, 1 forces sequential execution.
+	Parallel int
+	// MaxSteps bounds every interpreted execution so a runaway workload
+	// fails fast instead of hanging the suite (0 = interpreter default).
+	MaxSteps uint64
 }
 
 // DefaultOptions returns the standard evaluation configuration.
@@ -126,19 +146,84 @@ func DefaultOptions() Options {
 type Runner struct {
 	Opts Options
 	// Progress, when non-nil, receives one line per completed program.
+	// It may be invoked from worker goroutines; calls are serialized.
 	Progress func(string)
+
+	progressMu sync.Mutex
 }
 
-// variantSpec couples an instrumented program with a detector config.
+// variantSpec couples a compiled instrumented program with a detector
+// configuration.
 type variantSpec struct {
 	name       string
-	prog       *bfj.Program
+	compiled   *interp.Compiled
 	footprints bool
 	proxies    *proxy.Table
 }
 
-// buildVariants instruments a program for all five detectors.
-func buildVariants(base *bfj.Program) ([]variantSpec, analysis.Stats) {
+// runOutcome records one (variant, trial) execution.
+type runOutcome struct {
+	dur      time.Duration
+	counters interp.Counters
+	det      *detector.Detector
+	fields   uint64
+	arrays   uint64
+	err      error
+}
+
+// programState is one workload moving through the pipeline: compiled
+// artifacts from the preparation stage, an outcome slot per job, and a
+// countdown that triggers deterministic aggregation when the last job
+// completes.
+type programState struct {
+	w        workloads.Workload
+	res      *ProgramResult
+	base     *interp.Compiled
+	variants []variantSpec
+
+	// outcomes[0] is the base configuration; outcomes[1+i] is
+	// DetectorNames[i]; the inner index is the trial.
+	outcomes [][]runOutcome
+	pending  atomic.Int64
+	err      error // aggregation result (joined job errors)
+}
+
+// compiledFor returns the execution artifact for variant slot v
+// (0 = base).
+func (st *programState) compiledFor(v int) *interp.Compiled {
+	if v == 0 {
+		return st.base
+	}
+	return st.variants[v-1].compiled
+}
+
+// countingHook forwards every event to the wrapped detector hook while
+// tallying executed field vs. array check items (Figure 8's split).
+// Hook callbacks run on the scheduler token, so the counts need no
+// synchronization.  Thread 0 is excluded to match the interpreter's
+// check counters.
+type countingHook struct {
+	interp.Hook
+	fields, arrays uint64
+}
+
+func (c *countingHook) CheckField(t int, w bool, o *interp.Object, fs []string) {
+	if t != 0 {
+		c.fields++
+	}
+	c.Hook.CheckField(t, w, o, fs)
+}
+
+func (c *countingHook) CheckRange(t int, w bool, a *interp.Array, lo, hi, step int) {
+	if t != 0 {
+		c.arrays++
+	}
+	c.Hook.CheckRange(t, w, a, lo, hi, step)
+}
+
+// buildVariants instruments and compiles a program for all five
+// detectors plus the uninstrumented base.
+func buildVariants(base *bfj.Program) (*interp.Compiled, []variantSpec, analysis.Stats, error) {
 	every, _ := instrument.EveryAccess(base)
 	red, _ := instrument.RedCard(base)
 	an := analysis.New(base, analysis.DefaultOptions())
@@ -146,150 +231,289 @@ func buildVariants(base *bfj.Program) ([]variantSpec, analysis.Stats) {
 
 	redProx := proxy.Analyze(red)
 	bigProx := proxy.Analyze(big)
-	return []variantSpec{
-		{"FT", every, false, nil},
-		{"RC", red, false, redProx},
-		{"SS", every, true, nil},
-		{"SC", red, true, redProx},
-		{"BF", big, true, bigProx},
-	}, an.Stats
+	specs := []variantSpec{
+		{name: "FT", footprints: false, proxies: nil},
+		{name: "RC", footprints: false, proxies: redProx},
+		{name: "SS", footprints: true, proxies: nil},
+		{name: "SC", footprints: true, proxies: redProx},
+		{name: "BF", footprints: true, proxies: bigProx},
+	}
+	progs := []*bfj.Program{every, red, every, red, big}
+	for i := range specs {
+		c, err := interp.Compile(progs[i])
+		if err != nil {
+			return nil, nil, an.Stats, fmt.Errorf("%s: %w", specs[i].name, err)
+		}
+		specs[i].compiled = c
+	}
+	baseC, err := interp.Compile(base)
+	if err != nil {
+		return nil, nil, an.Stats, err
+	}
+	return baseC, specs, an.Stats, nil
 }
 
-// RunProgram evaluates one workload under every configuration.
-func (r *Runner) RunProgram(w workloads.Workload) (*ProgramResult, error) {
+// prepare runs the compile-once stage for one workload: parse,
+// instrument per detector, and compile each variant.
+func (r *Runner) prepare(w workloads.Workload) (*programState, error) {
 	base, err := bfj.Parse(w.Source)
 	if err != nil {
 		return nil, fmt.Errorf("%s: parse: %w", w.Name, err)
 	}
-	variants, stats := buildVariants(base)
-
-	res := &ProgramResult{
-		Name:            w.Name,
-		Suite:           w.Suite,
-		MethodsAnalyzed: stats.BodiesAnalyzed,
-		StaticTime:      stats.AnalysisTime,
-		ChecksInserted:  stats.ChecksPlaced,
-		Detectors:       map[string]*DetectorResult{},
-	}
-
-	// Base (uninstrumented) timing.
-	baseTime, baseC, err := r.timeRun(base, func() interp.Hook { return interp.NopHook{} })
+	baseC, variants, stats, err := buildVariants(base)
 	if err != nil {
-		return nil, fmt.Errorf("%s: base run: %w", w.Name, err)
+		return nil, fmt.Errorf("%s: compile: %w", w.Name, err)
 	}
-	res.BaseTime = baseTime
-	res.BaseSteps = baseC.Steps
-	res.Accesses = baseC.Accesses()
-	res.BaseWords = baseC.BaseWords
-
-	for _, v := range variants {
-		v := v
-		var last *detector.Detector
-		mk := func() interp.Hook {
-			last = detector.New(detector.Config{Name: v.name, Footprints: v.footprints, Proxies: v.proxies})
-			return last
-		}
-		dt, dc, err := r.timeRun(v.prog, mk)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", w.Name, v.name, err)
-		}
-		dr := &DetectorResult{
-			Name:         v.name,
-			Time:         dt,
-			Overhead:     modelOverhead(dc.CheckItems, last.Stats.ShadowOps, last.Stats.FootprintOps, dc.SyncOps, res.BaseSteps),
-			WallOverhead: overhead(dt, baseTime),
-			CheckRatio:   ratio(dc.CheckItems, res.Accesses),
-			Checks:       dc.CheckItems,
-			ShadowOps:    last.Stats.ShadowOps,
-			FootprintOps: last.Stats.FootprintOps,
-			SyncOps:      dc.SyncOps,
-			PeakWords:    last.Stats.PeakWords,
-			SpaceOverX:   ratio(last.Stats.PeakWords, res.BaseWords),
-			Races:        last.RaceCount(),
-			ArrayModes:   last.ArrayModes(),
-		}
-		res.Detectors[v.name] = dr
-		if v.name == "FT" || v.name == "BF" {
-			fc, ac := splitChecks(v.prog, r.Opts.Seed)
-			if v.name == "FT" {
-				res.FTFieldChecks, res.FTArrayChecks = fc, ac
-			} else {
-				res.BFFieldChecks, res.BFArrayChecks = fc, ac
-			}
-		}
-	}
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("%-11s base=%-10v FT=%.2fx BF=%.2fx ratioBF=%.3f",
-			w.Name, res.BaseTime.Round(time.Millisecond),
-			res.Detectors["FT"].Overhead, res.Detectors["BF"].Overhead,
-			res.Detectors["BF"].CheckRatio))
-	}
-	return res, nil
-}
-
-// timeRun executes the program Trials times and returns the minimum
-// duration (the standard microbenchmark estimator: the run least
-// disturbed by the host) and the deterministic counters.
-func (r *Runner) timeRun(prog *bfj.Program, mkHook func() interp.Hook) (time.Duration, interp.Counters, error) {
 	trials := r.Opts.Trials
 	if trials < 1 {
 		trials = 1
 	}
-	best := time.Duration(1<<62 - 1)
-	var counters interp.Counters
-	for i := 0; i < trials; i++ {
-		h := mkHook()
-		runtime.GC()
-		start := time.Now()
-		c, err := interp.Run(prog, h, interp.Options{Seed: r.Opts.Seed})
-		el := time.Since(start)
-		if err != nil {
-			return 0, c, err
+	st := &programState{
+		w:        w,
+		base:     baseC,
+		variants: variants,
+		res: &ProgramResult{
+			Name:            w.Name,
+			Suite:           w.Suite,
+			MethodsAnalyzed: stats.BodiesAnalyzed,
+			StaticTime:      stats.AnalysisTime,
+			ChecksInserted:  stats.ChecksPlaced,
+			Detectors:       map[string]*DetectorResult{},
+		},
+	}
+	st.outcomes = make([][]runOutcome, 1+len(variants))
+	for i := range st.outcomes {
+		st.outcomes[i] = make([]runOutcome, trials)
+	}
+	st.pending.Store(int64(len(st.outcomes) * trials))
+	return st, nil
+}
+
+// runJob executes one (variant, trial) cell of a program's outcome
+// matrix, reusing the stage's compiled artifact.
+func (r *Runner) runJob(ctx context.Context, st *programState, v, trial int) {
+	out := &st.outcomes[v][trial]
+	if err := ctx.Err(); err != nil {
+		out.err = err
+		return
+	}
+	opts := interp.Options{Seed: r.Opts.Seed, MaxSteps: r.Opts.MaxSteps}
+	var hook interp.Hook = interp.NopHook{}
+	var counting *countingHook
+	if v > 0 {
+		out.det = detector.New(detector.Config{
+			Name:       st.variants[v-1].name,
+			Footprints: st.variants[v-1].footprints,
+			Proxies:    st.variants[v-1].proxies,
+		})
+		counting = &countingHook{Hook: out.det}
+		hook = counting
+	}
+	start := time.Now()
+	c, err := st.compiledFor(v).Run(hook, opts)
+	out.dur = time.Since(start)
+	out.counters = c
+	if counting != nil {
+		out.fields, out.arrays = counting.fields, counting.arrays
+	}
+	if err != nil {
+		if v == 0 {
+			out.err = fmt.Errorf("%s: base run: %w", st.w.Name, err)
+		} else {
+			out.err = fmt.Errorf("%s/%s: %w", st.w.Name, st.variants[v-1].name, err)
 		}
-		if el < best {
-			best = el
+	}
+}
+
+// finalize aggregates a program's outcomes once every job has run.  All
+// inputs are deterministic except wall-clock durations, so the result
+// is identical regardless of worker count or completion order.
+func (st *programState) finalize() {
+	var errs []error
+	for _, trials := range st.outcomes {
+		for i := range trials {
+			if trials[i].err != nil {
+				errs = append(errs, trials[i].err)
+			}
 		}
-		counters = c
 	}
-	return best, counters, nil
-}
+	if len(errs) > 0 {
+		st.err = errors.Join(errs...)
+		return
+	}
+	res := st.res
+	base := st.outcomes[0]
+	res.BaseTime = minDur(base)
+	res.BaseSteps = base[0].counters.Steps
+	res.Accesses = base[0].counters.Accesses()
+	res.BaseWords = base[0].counters.BaseWords
 
-// splitChecks re-runs a program counting field vs array check items
-// (Figure 8's stacked bars).
-func splitChecks(prog *bfj.Program, seed int64) (fields, arrays uint64) {
-	h := &checkSplitter{}
-	_, _ = interp.Run(prog, h, interp.Options{Seed: seed})
-	return h.fields, h.arrays
-}
-
-type checkSplitter struct {
-	interp.NopHook
-	fields, arrays uint64
-}
-
-func (c *checkSplitter) CheckField(t int, w bool, o *interp.Object, fs []string) {
-	if t != 0 {
-		c.fields++
+	for i, v := range st.variants {
+		trials := st.outcomes[1+i]
+		first := &trials[0]
+		dt := minDur(trials)
+		dc := first.counters
+		det := first.det
+		dr := &DetectorResult{
+			Name:         v.name,
+			Time:         dt,
+			Overhead:     modelOverhead(dc.CheckItems, det.Stats.ShadowOps, det.Stats.FootprintOps, dc.SyncOps, res.BaseSteps),
+			WallOverhead: overhead(dt, res.BaseTime),
+			CheckRatio:   ratio(dc.CheckItems, res.Accesses),
+			Checks:       dc.CheckItems,
+			ShadowOps:    det.Stats.ShadowOps,
+			FootprintOps: det.Stats.FootprintOps,
+			SyncOps:      dc.SyncOps,
+			PeakWords:    det.Stats.PeakWords,
+			SpaceOverX:   ratio(det.Stats.PeakWords, res.BaseWords),
+			Races:        det.RaceCount(),
+			ArrayModes:   det.ArrayModes(),
+		}
+		res.Detectors[v.name] = dr
+		switch v.name {
+		case "FT":
+			res.FTFieldChecks, res.FTArrayChecks = first.fields, first.arrays
+		case "BF":
+			res.BFFieldChecks, res.BFArrayChecks = first.fields, first.arrays
+		}
 	}
 }
 
-func (c *checkSplitter) CheckRange(t int, w bool, a *interp.Array, lo, hi, step int) {
-	if t != 0 {
-		c.arrays++
+func minDur(trials []runOutcome) time.Duration {
+	best := trials[0].dur
+	for _, tr := range trials[1:] {
+		if tr.dur < best {
+			best = tr.dur
+		}
 	}
+	return best
+}
+
+// progress emits a serialized progress line.
+func (r *Runner) progress(st *programState) {
+	if r.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	if st.err != nil {
+		r.Progress(fmt.Sprintf("%-11s FAILED: %v", st.w.Name, st.err))
+		return
+	}
+	res := st.res
+	r.Progress(fmt.Sprintf("%-11s base=%-10v FT=%.2fx BF=%.2fx ratioBF=%.3f",
+		st.w.Name, res.BaseTime.Round(time.Millisecond),
+		res.Detectors["FT"].Overhead, res.Detectors["BF"].Overhead,
+		res.Detectors["BF"].CheckRatio))
+}
+
+// RunProgram evaluates one workload under every configuration.
+func (r *Runner) RunProgram(w workloads.Workload) (*ProgramResult, error) {
+	rs, err := r.runWorkloads(context.Background(), []workloads.Workload{w})
+	if len(rs) == 1 {
+		return rs[0], err
+	}
+	return nil, err
 }
 
 // RunAll evaluates every workload.
 func (r *Runner) RunAll() ([]*ProgramResult, error) {
-	var out []*ProgramResult
-	for _, w := range workloads.All(r.Opts.Scale) {
-		pr, err := r.RunProgram(w)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, pr)
+	return r.RunAllContext(context.Background())
+}
+
+// RunAllContext evaluates every workload under the context: on
+// cancellation (or timeout) it stops scheduling work and returns the
+// programs that completed alongside the joined error.
+func (r *Runner) RunAllContext(ctx context.Context) ([]*ProgramResult, error) {
+	return r.runWorkloads(ctx, workloads.All(r.Opts.Scale))
+}
+
+// runWorkloads drives the two pipeline stages over a bounded worker
+// pool.  A failing workload no longer aborts the evaluation: its error
+// is collected and the remaining programs still produce results.
+func (r *Runner) runWorkloads(ctx context.Context, ws []workloads.Workload) ([]*ProgramResult, error) {
+	par := r.Opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	return out, nil
+
+	// Stage 1: parse + instrument + compile every workload (compile
+	// once; the artifacts are reused by every trial in stage 2).
+	states := make([]*programState, len(ws))
+	prepErrs := make([]error, len(ws))
+	var idx atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < min(par, len(ws)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= len(ws) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					prepErrs[i] = fmt.Errorf("%s: %w", ws[i].Name, err)
+					continue
+				}
+				states[i], prepErrs[i] = r.prepare(ws[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Stage 2: the (program, variant, trial) job queue.
+	type job struct {
+		st       *programState
+		v, trial int
+	}
+	var jobs []job
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		for v := range st.outcomes {
+			for trial := range st.outcomes[v] {
+				jobs = append(jobs, job{st, v, trial})
+			}
+		}
+	}
+	queue := make(chan job)
+	for w := 0; w < min(par, len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range queue {
+				r.runJob(ctx, j.st, j.v, j.trial)
+				if j.st.pending.Add(-1) == 0 {
+					// Last job of this program: aggregate and report now so
+					// progress streams while other programs keep running.
+					j.st.finalize()
+					r.progress(j.st)
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		queue <- j
+	}
+	close(queue)
+	wg.Wait()
+
+	// Collect in workload order: partial results plus a joined error.
+	var out []*ProgramResult
+	var errs []error
+	for i, st := range states {
+		switch {
+		case prepErrs[i] != nil:
+			errs = append(errs, prepErrs[i])
+		case st.err != nil:
+			errs = append(errs, st.err)
+		default:
+			out = append(out, st.res)
+		}
+	}
+	return out, errors.Join(errs...)
 }
 
 func overhead(t, base time.Duration) float64 {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -224,4 +225,40 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// Signature renders every deterministic field of the result set —
+// counters, modeled overheads, check ratios and splits, shadow sizes,
+// races, array modes, static placement counts — and omits wall-clock
+// timings.  Two harness runs with the same options must produce
+// byte-identical signatures regardless of worker count; the concurrency
+// tests pin exactly that.
+func Signature(rs []*ProgramResult) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%s/%s bodies=%d placed=%d base[steps=%d acc=%d words=%d] split[ft=%d+%d bf=%d+%d]\n",
+			r.Suite, r.Name, r.MethodsAnalyzed, r.ChecksInserted,
+			r.BaseSteps, r.Accesses, r.BaseWords,
+			r.FTFieldChecks, r.FTArrayChecks, r.BFFieldChecks, r.BFArrayChecks)
+		for _, name := range DetectorNames {
+			d := r.Detectors[name]
+			if d == nil {
+				fmt.Fprintf(&b, "  %s MISSING\n", name)
+				continue
+			}
+			modes := make([]string, 0, len(d.ArrayModes))
+			for k := range d.ArrayModes {
+				modes = append(modes, k)
+			}
+			sort.Strings(modes)
+			fmt.Fprintf(&b, "  %s ov=%.9f ratio=%.9f checks=%d shadow=%d fp=%d sync=%d peak=%d space=%.9f races=%d",
+				name, d.Overhead, d.CheckRatio, d.Checks, d.ShadowOps,
+				d.FootprintOps, d.SyncOps, d.PeakWords, d.SpaceOverX, d.Races)
+			for _, k := range modes {
+				fmt.Fprintf(&b, " %s=%d", k, d.ArrayModes[k])
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
 }

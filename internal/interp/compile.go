@@ -13,6 +13,12 @@ import (
 // per-variable map lookups.  This keeps base interpretation fast enough
 // that detector work dominates measured overheads, as it does on the
 // paper's JVM testbed.
+//
+// Compilation is a separate stage from execution: the closures never
+// capture the executing Interp.  All run-time state (counters, hook,
+// scheduler, heap IDs) is reached through the thread's interpreter
+// (t.in), so one Compiled artifact can back any number of concurrent
+// executions.
 
 // kindUndef marks an unassigned local slot; it is deliberately NOT the
 // zero ValueKind (fields and array elements default to integer 0, but
@@ -62,31 +68,48 @@ func (cb *compiledBody) run(t *Thread) {
 	}
 }
 
+// compiler builds a Compiled artifact.  It is used single-threaded
+// during Compile; the maps it fills (methods, volatile) are read-only
+// afterwards and therefore safe to share across executions.
+type compiler struct {
+	prog     *bfj.Program
+	volatile map[string]bool
+	methods  map[*bfj.Method]*compiledBody
+}
+
+// compileErr aborts compilation with a static error.
+type compileErr struct{ msg string }
+
+func cfail(format string, args ...any) {
+	panic(compileErr{fmt.Sprintf(format, args...)})
+}
+
 // compileBody compiles a block with a fresh scope.
-func (in *Interp) compileBody(b *bfj.Block) *compiledBody {
+func (c *compiler) compileBody(b *bfj.Block) *compiledBody {
 	sc := &scope{slots: map[expr.Var]int{}}
-	stmts := in.compileBlock(b, sc)
+	stmts := c.compileBlock(b, sc)
 	return &compiledBody{stmts: stmts, sc: sc}
 }
 
-// compiledMethod caches a method's compiled body.
-func (in *Interp) compiledMethod(m *bfj.Method) *compiledBody {
-	if cb, ok := in.methods[m]; ok {
+// compileMethod compiles (and caches) a method body with its parameter
+// slots laid out first.
+func (c *compiler) compileMethod(m *bfj.Method) *compiledBody {
+	if cb, ok := c.methods[m]; ok {
 		return cb
 	}
 	sc := &scope{slots: map[expr.Var]int{}}
 	for _, p := range m.Params {
 		sc.slot(p)
 	}
-	cb := &compiledBody{stmts: in.compileBlock(m.Body, sc), sc: sc}
-	in.methods[m] = cb
+	cb := &compiledBody{stmts: c.compileBlock(m.Body, sc), sc: sc}
+	c.methods[m] = cb
 	return cb
 }
 
-func (in *Interp) compileBlock(b *bfj.Block, sc *scope) []cstmt {
+func (c *compiler) compileBlock(b *bfj.Block, sc *scope) []cstmt {
 	out := make([]cstmt, 0, len(b.Stmts))
 	for _, s := range b.Stmts {
-		out = append(out, in.compileStmt(s, sc))
+		out = append(out, c.compileStmt(s, sc))
 	}
 	return out
 }
@@ -137,13 +160,13 @@ func asBool(v Value, what fmt.Stringer) bool {
 
 // statement compilation ---------------------------------------------------
 
-func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
+func (c *compiler) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 	switch x := s.(type) {
 	case *bfj.Assign:
 		dst := sc.slot(x.X)
-		e := in.compileExpr(x.E, sc)
+		e := c.compileExpr(x.E, sc)
 		return func(t *Thread) {
-			in.step(t)
+			t.in.step(t)
 			t.slotSet(dst, e(t))
 		}
 	case *bfj.Rename:
@@ -155,14 +178,18 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 		dst := sc.slot(x.X)
 		src := sc.slot(x.Y)
 		return func(t *Thread) {
-			in.step(t)
+			t.in.step(t)
 			t.slotSet(dst, t.cur[src])
 		}
 	case *bfj.New:
 		dst := sc.slot(x.X)
-		cls := in.prog.LookupClass(x.Class)
+		cls := c.prog.LookupClass(x.Class)
+		if cls == nil {
+			cfail("unknown class %s", x.Class)
+		}
 		nf := len(cls.Fields)
 		return func(t *Thread) {
+			in := t.in
 			in.step(t)
 			o := &Object{ID: in.nextObjID, Class: cls, Fields: make(map[string]Value, nf)}
 			in.nextObjID++
@@ -171,9 +198,10 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 		}
 	case *bfj.NewArray:
 		dst := sc.slot(x.X)
-		size := in.compileExpr(x.Size, sc)
+		size := c.compileExpr(x.Size, sc)
 		szE := x.Size
 		return func(t *Thread) {
+			in := t.in
 			in.step(t)
 			n := asInt(size(t), szE)
 			if n < 0 {
@@ -188,11 +216,13 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 		dst := sc.slot(x.X)
 		obj := sc.slot(x.Y)
 		field := x.F
-		vol := in.volatile[x.F]
+		vol := c.volatile[x.F]
+		prog := c.prog
 		return func(t *Thread) {
+			in := t.in
 			in.step(t)
 			o := getObj(t, obj, string(x.Y))
-			if vol && in.prog.IsVolatile(o.Class.Name, field) {
+			if vol && prog.IsVolatile(o.Class.Name, field) {
 				in.C.SyncOps++
 				in.hook.VolRead(t.ID, o, field)
 			} else {
@@ -204,13 +234,15 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 	case *bfj.FieldWrite:
 		obj := sc.slot(x.Y)
 		field := x.F
-		vol := in.volatile[x.F]
-		e := in.compileExpr(x.E, sc)
+		vol := c.volatile[x.F]
+		prog := c.prog
+		e := c.compileExpr(x.E, sc)
 		return func(t *Thread) {
+			in := t.in
 			in.step(t)
 			o := getObj(t, obj, string(x.Y))
 			v := e(t)
-			if vol && in.prog.IsVolatile(o.Class.Name, field) {
+			if vol && prog.IsVolatile(o.Class.Name, field) {
 				in.C.SyncOps++
 				in.hook.VolWrite(t.ID, o, field)
 			} else {
@@ -222,9 +254,10 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 	case *bfj.ArrayRead:
 		dst := sc.slot(x.X)
 		arr := sc.slot(x.Y)
-		idx := in.compileExpr(x.Z, sc)
+		idx := c.compileExpr(x.Z, sc)
 		idxE := x.Z
 		return func(t *Thread) {
+			in := t.in
 			in.step(t)
 			a := getArr(t, arr, string(x.Y))
 			i := asInt(idx(t), idxE)
@@ -237,10 +270,11 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 		}
 	case *bfj.ArrayWrite:
 		arr := sc.slot(x.Y)
-		idx := in.compileExpr(x.Z, sc)
+		idx := c.compileExpr(x.Z, sc)
 		idxE := x.Z
-		e := in.compileExpr(x.E, sc)
+		e := c.compileExpr(x.E, sc)
 		return func(t *Thread) {
+			in := t.in
 			in.step(t)
 			a := getArr(t, arr, string(x.Y))
 			i := asInt(idx(t), idxE)
@@ -255,6 +289,7 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 	case *bfj.Acquire:
 		lock := sc.slot(x.L)
 		return func(t *Thread) {
+			in := t.in
 			in.step(t)
 			o := getObj(t, lock, string(x.L))
 			for o.lockOwner != nil && o.lockOwner != t {
@@ -270,6 +305,7 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 	case *bfj.Release:
 		lock := sc.slot(x.L)
 		return func(t *Thread) {
+			in := t.in
 			in.step(t)
 			o := getObj(t, lock, string(x.L))
 			if o.lockOwner != t {
@@ -283,12 +319,12 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 			}
 		}
 	case *bfj.If:
-		cond := in.compileExpr(x.Cond, sc)
+		cond := c.compileExpr(x.Cond, sc)
 		condE := x.Cond
-		then := in.compileBlock(x.Then, sc)
-		els := in.compileBlock(x.Else, sc)
+		then := c.compileBlock(x.Then, sc)
+		els := c.compileBlock(x.Else, sc)
 		return func(t *Thread) {
-			in.step(t)
+			t.in.step(t)
 			if asBool(cond(t), condE) {
 				for _, s := range then {
 					s(t)
@@ -300,16 +336,16 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 			}
 		}
 	case *bfj.Loop:
-		pre := in.compileBlock(x.Pre, sc)
-		cond := in.compileExpr(x.Cond, sc)
+		pre := c.compileBlock(x.Pre, sc)
+		cond := c.compileExpr(x.Cond, sc)
 		condE := x.Cond
-		post := in.compileBlock(x.Post, sc)
+		post := c.compileBlock(x.Post, sc)
 		return func(t *Thread) {
 			for {
 				for _, s := range pre {
 					s(t)
 				}
-				in.step(t)
+				t.in.step(t)
 				if asBool(cond(t), condE) {
 					return
 				}
@@ -319,12 +355,13 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 			}
 		}
 	case *bfj.Call:
-		return in.compileCall(x, sc)
+		return c.compileCall(x, sc)
 	case *bfj.Fork:
-		return in.compileFork(x, sc)
+		return c.compileFork(x, sc)
 	case *bfj.Join:
 		h := sc.slot(x.X)
 		return func(t *Thread) {
+			in := t.in
 			in.step(t)
 			v := t.slotGet(h)
 			if v.Kind != KindThread {
@@ -339,13 +376,14 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 			in.hook.Join(t.ID, v.Th.ID)
 		}
 	case *bfj.Check:
-		return in.compileCheck(x, sc)
+		return c.compileCheck(x, sc)
 	case *bfj.Print:
 		args := make([]cexpr, len(x.Args))
 		for i, a := range x.Args {
-			args[i] = in.compileExpr(a, sc)
+			args[i] = c.compileExpr(a, sc)
 		}
 		return func(t *Thread) {
+			in := t.in
 			in.step(t)
 			if in.opts.Out == nil {
 				for _, a := range args {
@@ -362,10 +400,10 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 			fmt.Fprintln(in.opts.Out)
 		}
 	case *bfj.Assert:
-		cond := in.compileExpr(x.Cond, sc)
+		cond := c.compileExpr(x.Cond, sc)
 		condE := x.Cond
 		return func(t *Thread) {
-			in.step(t)
+			t.in.step(t)
 			if !asBool(cond(t), condE) {
 				fail("assertion failed: %s", condE)
 			}
@@ -374,28 +412,30 @@ func (in *Interp) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 	return func(t *Thread) { fail("unknown statement %T", s) }
 }
 
-func (in *Interp) compileCall(x *bfj.Call, sc *scope) cstmt {
+func (c *compiler) compileCall(x *bfj.Call, sc *scope) cstmt {
 	recv := sc.slot(x.Y)
 	args := make([]cexpr, len(x.Args))
 	for i, a := range x.Args {
-		args[i] = in.compileExpr(a, sc)
+		args[i] = c.compileExpr(a, sc)
 	}
 	dst := -1
 	if x.X != "" {
 		dst = sc.slot(x.X)
 	}
 	name := x.M
+	prog := c.prog
+	methods := c.methods
 	return func(t *Thread) {
-		in.step(t)
+		t.in.step(t)
 		o := getObj(t, recv, string(x.Y))
-		m := in.prog.LookupMethod(o.Class.Name, name)
+		m := prog.LookupMethod(o.Class.Name, name)
 		if m == nil {
 			fail("class %s has no method %s", o.Class.Name, name)
 		}
 		if len(m.Params) != len(args)+1 {
 			fail("method %s expects %d args, got %d", m.QualifiedName(), len(m.Params)-1, len(args))
 		}
-		cb := in.compiledMethod(m)
+		cb := methods[m]
 		frame := cb.newFrame()
 		frame[0] = Value{Kind: KindObject, Obj: o} // "this" is slot 0
 		for i, a := range args {
@@ -420,22 +460,25 @@ func (in *Interp) compileCall(x *bfj.Call, sc *scope) cstmt {
 	}
 }
 
-func (in *Interp) compileFork(x *bfj.Fork, sc *scope) cstmt {
+func (c *compiler) compileFork(x *bfj.Fork, sc *scope) cstmt {
 	recv := sc.slot(x.Y)
 	args := make([]cexpr, len(x.Args))
 	for i, a := range x.Args {
-		args[i] = in.compileExpr(a, sc)
+		args[i] = c.compileExpr(a, sc)
 	}
 	dst := sc.slot(x.X)
 	name := x.M
+	prog := c.prog
+	methods := c.methods
 	return func(t *Thread) {
+		in := t.in
 		in.step(t)
 		o := getObj(t, recv, string(x.Y))
-		m := in.prog.LookupMethod(o.Class.Name, name)
+		m := prog.LookupMethod(o.Class.Name, name)
 		if m == nil {
 			fail("class %s has no method %s", o.Class.Name, name)
 		}
-		cb := in.compiledMethod(m)
+		cb := methods[m]
 		frame := cb.newFrame()
 		frame[0] = Value{Kind: KindObject, Obj: o}
 		for i, a := range args {
@@ -449,7 +492,7 @@ func (in *Interp) compileFork(x *bfj.Fork, sc *scope) cstmt {
 	}
 }
 
-func (in *Interp) compileCheck(x *bfj.Check, sc *scope) cstmt {
+func (c *compiler) compileCheck(x *bfj.Check, sc *scope) cstmt {
 	type citem struct {
 		write  bool
 		field  bool
@@ -470,13 +513,14 @@ func (in *Interp) compileCheck(x *bfj.Check, sc *scope) cstmt {
 			ci.fields = p.Fields
 		case expr.ArrayPath:
 			ci.base = sc.slot(p.Base)
-			ci.lo = in.compileExpr(p.Range.Lo, sc)
-			ci.hi = in.compileExpr(p.Range.Hi, sc)
-			ci.step = in.compileExpr(p.Range.Step, sc)
+			ci.lo = c.compileExpr(p.Range.Lo, sc)
+			ci.hi = c.compileExpr(p.Range.Hi, sc)
+			ci.step = c.compileExpr(p.Range.Step, sc)
 		}
 		items = append(items, ci)
 	}
 	return func(t *Thread) {
+		in := t.in
 		in.step(t)
 		for i := range items {
 			ci := &items[i]
@@ -510,7 +554,7 @@ func (in *Interp) compileCheck(x *bfj.Check, sc *scope) cstmt {
 
 // expression compilation ---------------------------------------------------
 
-func (in *Interp) compileExpr(e expr.Expr, sc *scope) cexpr {
+func (c *compiler) compileExpr(e expr.Expr, sc *scope) cexpr {
 	switch x := e.(type) {
 	case expr.IntLit:
 		v := IntVal(x.Val)
@@ -526,7 +570,7 @@ func (in *Interp) compileExpr(e expr.Expr, sc *scope) cexpr {
 		name := string(x.Base)
 		return func(t *Thread) Value { return IntVal(int64(getArr(t, slot, name).Len())) }
 	case expr.Unary:
-		inner := in.compileExpr(x.X, sc)
+		inner := c.compileExpr(x.X, sc)
 		switch x.Op {
 		case expr.OpNot:
 			return func(t *Thread) Value { return BoolVal(!asBool(inner(t), e)) }
@@ -534,8 +578,8 @@ func (in *Interp) compileExpr(e expr.Expr, sc *scope) cexpr {
 			return func(t *Thread) Value { return IntVal(-asInt(inner(t), e)) }
 		}
 	case expr.Binary:
-		l := in.compileExpr(x.L, sc)
-		r := in.compileExpr(x.R, sc)
+		l := c.compileExpr(x.L, sc)
+		r := c.compileExpr(x.R, sc)
 		switch x.Op {
 		case expr.OpAnd:
 			return func(t *Thread) Value {

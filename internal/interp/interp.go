@@ -73,12 +73,79 @@ type Thread struct {
 // frame is a compiled body's variable storage, indexed by slot.
 type frame = []Value
 
+// Compiled is an immutable compilation artifact: the program's setup,
+// thread, and method bodies lowered to slot-addressed closure trees.
+// It is goroutine-safe — a single Compiled may back any number of
+// concurrent Run calls (across trials, seeds, and detector hooks), so
+// a program is compiled once per instrumentation variant rather than
+// once per execution.
+type Compiled struct {
+	prog    *bfj.Program
+	setup   *compiledBody
+	threads []*compiledBody
+	methods map[*bfj.Method]*compiledBody
+}
+
+// Program returns the source AST the artifact was compiled from.
+func (c *Compiled) Program() *bfj.Program { return c.prog }
+
+// Compile lowers the program into a reusable execution artifact.  It
+// reports static errors that need no execution to detect (currently:
+// instantiating an unknown class).  The returned artifact must not be
+// mutated; the program AST it references must not be mutated either.
+func Compile(prog *bfj.Program) (c *Compiled, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(compileErr); ok {
+				c, err = nil, fmt.Errorf("compile: %s", ce.msg)
+				return
+			}
+			panic(r)
+		}
+	}()
+	cp := &compiler{
+		prog:     prog,
+		volatile: map[string]bool{},
+		methods:  map[*bfj.Method]*compiledBody{},
+	}
+	for _, cl := range prog.Classes {
+		for _, f := range cl.Fields {
+			if f.Volatile {
+				cp.volatile[f.Name] = true
+			}
+		}
+	}
+	// Methods are compiled eagerly so the method map is frozen before
+	// the first execution reads it.
+	for _, m := range prog.Methods() {
+		cp.compileMethod(m)
+	}
+	out := &Compiled{
+		prog:    prog,
+		setup:   cp.compileBody(prog.Setup),
+		methods: cp.methods,
+	}
+	for _, b := range prog.Threads {
+		out.threads = append(out.threads, cp.compileBody(b))
+	}
+	return out, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(prog *bfj.Program) *Compiled {
+	c, err := Compile(prog)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // Interp executes one program.
 type Interp struct {
-	prog *bfj.Program
-	hook Hook
-	opts Options
-	C    Counters
+	compiled *Compiled
+	hook     Hook
+	opts     Options
+	C        Counters
 
 	rng     *rand.Rand
 	threads []*Thread
@@ -86,11 +153,6 @@ type Interp struct {
 
 	nextObjID int
 	nextArrID int
-
-	// methods caches compiled method bodies; volatile pre-screens field
-	// names that may be volatile in some class.
-	methods  map[*bfj.Method]*compiledBody
-	volatile map[string]bool
 
 	err     error
 	aborted bool
@@ -104,39 +166,40 @@ func fail(format string, args ...any) {
 	panic(runtimeErr{fmt.Sprintf(format, args...)})
 }
 
-// Run executes the program under the hook and returns the execution
-// counters.  The error reports runtime failures (null dereference,
-// out-of-bounds, assertion failure, deadlock, step-limit exceeded).
-func Run(prog *bfj.Program, hook Hook, opts Options) (Counters, error) {
+// Run executes the compiled program under the hook and returns the
+// execution counters.  The error reports runtime failures (null
+// dereference, out-of-bounds, assertion failure, deadlock, step-limit
+// exceeded).  Run is safe to call concurrently on the same artifact:
+// each call builds its own interpreter state.
+func (c *Compiled) Run(hook Hook, opts Options) (Counters, error) {
 	in := &Interp{
-		prog:     prog,
+		compiled: c,
 		hook:     hook,
 		opts:     opts.withDefaults(),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		back:     make(chan struct{}),
-		methods:  map[*bfj.Method]*compiledBody{},
-		volatile: map[string]bool{},
-	}
-	for _, c := range prog.Classes {
-		for _, f := range c.Fields {
-			if f.Volatile {
-				in.volatile[f.Name] = true
-			}
-		}
 	}
 	err := in.run()
 	in.C.Threads = len(in.threads)
 	return in.C, err
 }
 
+// Run compiles and executes the program in one call — the convenience
+// path for single executions.  Repeated runs of the same program should
+// Compile once and reuse the artifact.
+func Run(prog *bfj.Program, hook Hook, opts Options) (Counters, error) {
+	c, err := Compile(prog)
+	if err != nil {
+		return Counters{}, err
+	}
+	return c.Run(hook, opts)
+}
+
 func (in *Interp) run() error {
 	// Thread 0 executes the setup block and then forks the program's
 	// static thread blocks, which capture its environment bindings.
-	setupCB := in.compileBody(in.prog.Setup)
-	threadCBs := make([]*compiledBody, len(in.prog.Threads))
-	for i, b := range in.prog.Threads {
-		threadCBs[i] = in.compileBody(b)
-	}
+	setupCB := in.compiled.setup
+	threadCBs := in.compiled.threads
 	t0 := in.newThread(setupCB.newFrame())
 	in.startThread(t0, func() {
 		setupCB.run(t0)
