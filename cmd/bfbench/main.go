@@ -7,10 +7,24 @@
 //	bfbench [-figure2] [-figure8] [-table1] [-table2] [-all]
 //	        [-scale N] [-threads T] [-trials K] [-seed S] [-program name]
 //	        [-parallel N] [-timeout D]
+//	        [-json path] [-diff old.json] [-tolerance F] [-json-check path]
+//	        [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // Without a selection flag, -all is assumed.  -parallel bounds the
 // evaluation worker pool (0 = GOMAXPROCS); results are identical at any
 // worker count.  -timeout cancels the run, rendering whatever completed.
+//
+// -json writes the structured, versioned report (the same data the text
+// tables render — see harness.Report) for committing as BENCH_*.json.
+// -diff loads a previous report and flags deterministic metrics that
+// regressed beyond -tolerance.  -json-check validates an existing
+// report file (schema version, shape, renderability) and exits without
+// running any workload.
+//
+// Exit codes: 0 clean; 1 workload failures or timeout cancellation
+// (partial tables/JSON are still emitted); 2 usage errors; 3 report
+// I/O or validation failures; 4 regressions found by -diff.  A
+// truncated sweep therefore never exits 0.
 package main
 
 import (
@@ -20,29 +34,72 @@ import (
 	"os"
 
 	"bigfoot/internal/harness"
+	"bigfoot/internal/profiling"
 	"bigfoot/internal/workloads"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		fig2    = flag.Bool("figure2", false, "print Figure 2 (detector comparison + mean overhead)")
-		fig8    = flag.Bool("figure8", false, "print Figure 8 (check ratios, BF/FT overhead)")
-		tab1    = flag.Bool("table1", false, "print Table 1 (checker performance)")
-		tab2    = flag.Bool("table2", false, "print Table 2 (space overhead)")
-		all     = flag.Bool("all", false, "print every artifact")
-		scale   = flag.Int("scale", 1, "workload size multiplier")
-		threads = flag.Int("threads", 4, "worker threads per program")
-		trials  = flag.Int("trials", 3, "timing trials per configuration (median)")
-		seed    = flag.Int64("seed", 42, "scheduler seed")
-		program  = flag.String("program", "", "run a single named workload")
-		parallel = flag.Int("parallel", 0, "evaluation worker count (0 = GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
-		quiet    = flag.Bool("q", false, "suppress progress lines")
+		fig2      = flag.Bool("figure2", false, "print Figure 2 (detector comparison + mean overhead)")
+		fig8      = flag.Bool("figure8", false, "print Figure 8 (check ratios, BF/FT overhead)")
+		tab1      = flag.Bool("table1", false, "print Table 1 (checker performance)")
+		tab2      = flag.Bool("table2", false, "print Table 2 (space overhead)")
+		all       = flag.Bool("all", false, "print every artifact")
+		scale     = flag.Int("scale", 1, "workload size multiplier")
+		threads   = flag.Int("threads", 4, "worker threads per program")
+		trials    = flag.Int("trials", 3, "timing trials per configuration (median)")
+		seed      = flag.Int64("seed", 42, "scheduler seed")
+		program   = flag.String("program", "", "run a single named workload")
+		parallel  = flag.Int("parallel", 0, "evaluation worker count (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
+		quiet     = flag.Bool("q", false, "suppress progress lines")
+		jsonOut   = flag.String("json", "", "write the structured JSON report to this file")
+		diffOld   = flag.String("diff", "", "compare this run against a previous -json report")
+		tolerance = flag.Float64("tolerance", harness.DefaultDiffTolerance, "relative slack for -diff regressions")
+		jsonCheck = flag.String("json-check", "", "validate an existing JSON report and exit (no run)")
 	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "bfbench: unexpected arguments %q\n", flag.Args())
+		return 2
+	}
 	if !*fig2 && !*fig8 && !*tab1 && !*tab2 {
 		*all = true
 	}
+
+	if *jsonCheck != "" {
+		rep, err := harness.ReadJSONFile(*jsonCheck)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+			return 3
+		}
+		// A valid report must also render: exercise every view so a
+		// committed BENCH_*.json is known-good for later comparisons.
+		_ = rep.Summary()
+		if regs := harness.Diff(rep, rep, *tolerance); len(regs) != 0 {
+			fmt.Fprintf(os.Stderr, "bfbench: self-diff of %s not empty: %v\n", *jsonCheck, regs)
+			return 3
+		}
+		fmt.Printf("%s: valid report (version %d, %d programs)\n", *jsonCheck, rep.Version, len(rep.Programs))
+		return 0
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+		}
+	}()
 
 	opts := harness.Options{
 		Scale:    workloads.Scale{N: *scale, T: *threads},
@@ -62,45 +119,69 @@ func main() {
 		defer cancel()
 	}
 
-	var results []*harness.ProgramResult
-	var err error
+	var rep *harness.Report
+	var runErr error
 	if *program != "" {
 		w, ok := workloads.ByName(*program, opts.Scale)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown program %q\n", *program)
-			os.Exit(2)
+			return 2
 		}
 		var pr *harness.ProgramResult
-		pr, err = r.RunProgram(w)
+		pr, runErr = r.RunProgramContext(ctx, w)
+		var rs []*harness.ProgramResult
 		if pr != nil {
-			results = append(results, pr)
+			rs = append(rs, pr)
 		}
+		rep = harness.NewReport(opts, rs)
 	} else {
-		results, err = r.RunAllContext(ctx)
+		rep, runErr = r.RunReport(ctx)
 	}
-	if err != nil {
-		// Failed or cancelled workloads are reported, but completed
-		// programs still render below.
-		fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
-		if len(results) == 0 {
-			os.Exit(1)
+	code := 0
+	if runErr != nil {
+		// Failed or cancelled workloads are reported; completed programs
+		// still render (and serialize) below, but the exit stays non-zero
+		// so CI cannot mistake a truncated sweep for a clean one.
+		fmt.Fprintf(os.Stderr, "bfbench: %v\n", runErr)
+		code = 1
+	}
+
+	if len(rep.Programs) > 0 {
+		if *all || *fig2 {
+			fmt.Println(rep.Figure2())
+		}
+		if *all || *fig8 {
+			fmt.Println(rep.Figure8())
+		}
+		if *all || *tab1 {
+			fmt.Println(rep.Table1())
+			fmt.Println(rep.Table1Wall())
+		}
+		if *all || *tab2 {
+			fmt.Println(rep.Table2())
 		}
 	}
 
-	if *all || *fig2 {
-		fmt.Println(harness.Figure2(results))
+	if *jsonOut != "" {
+		if err := rep.WriteJSONFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: write %s: %v\n", *jsonOut, err)
+			return 3
+		}
 	}
-	if *all || *fig8 {
-		fmt.Println(harness.Figure8(results))
+	if *diffOld != "" {
+		old, err := harness.ReadJSONFile(*diffOld)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+			return 3
+		}
+		regs := harness.Diff(old, rep, *tolerance)
+		for _, g := range regs {
+			fmt.Fprintf(os.Stderr, "regression: %s\n", g)
+		}
+		if len(regs) > 0 {
+			return 4
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s (tolerance %g)\n", *diffOld, *tolerance)
 	}
-	if *all || *tab1 {
-		fmt.Println(harness.Table1(results))
-		fmt.Println(harness.Table1Wall(results))
-	}
-	if *all || *tab2 {
-		fmt.Println(harness.Table2(results))
-	}
-	if err != nil {
-		os.Exit(1)
-	}
+	return code
 }

@@ -4,12 +4,15 @@
 // Usage:
 //
 //	bigfoot [-mode bigfoot|fasttrack|redcard|slimstate|slimcard]
-//	        [-seed N] [-runs K] [-show] [-stats] file.bfj
+//	        [-seed N] [-runs K] [-show] [-stats]
+//	        [-cpuprofile f] [-memprofile f] [-trace f] file.bfj
 //
 // -show prints the instrumented program (with placed checks) instead of
 // running it.  -runs K explores K consecutive schedule seeds starting at
 // -seed, compiling the program once and reusing the artifact for every
-// run; races are deduplicated across seeds.
+// run; races are deduplicated across seeds.  The profiling flags
+// capture runtime/pprof and runtime/trace output for `go tool pprof` /
+// `go tool trace`.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"strings"
 
 	"bigfoot"
+	"bigfoot/internal/profiling"
 )
 
 var modes = map[string]bigfoot.Mode{
@@ -36,6 +40,10 @@ var modes = map[string]bigfoot.Mode{
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		modeName = flag.String("mode", "bigfoot", "detector: fasttrack|redcard|slimstate|slimcard|bigfoot")
 		seed     = flag.Int64("seed", 0, "first schedule seed")
@@ -43,36 +51,48 @@ func main() {
 		show     = flag.Bool("show", false, "print the instrumented program and exit")
 		stats    = flag.Bool("stats", false, "print check/shadow statistics")
 	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 || *runs < 1 {
 		fmt.Fprintln(os.Stderr, "usage: bigfoot [-mode M] [-seed N] [-runs K] [-show] [-stats] file.bfj")
-		os.Exit(2)
+		return 2
 	}
 	mode, ok := modes[strings.ToLower(*modeName)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
-		os.Exit(2)
+		return 2
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	prog, err := bigfoot.Parse(string(src))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
-		os.Exit(1)
+		return 1
 	}
 	inst := prog.Instrument(mode)
 	if *show {
 		fmt.Print(inst.Text())
-		return
+		return 0
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bigfoot: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "bigfoot: %v\n", err)
+		}
+	}()
 	// Compile once; every seed below reuses the artifact.
 	compiled, err := inst.Compile()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "compile error: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	seen := make(map[string]bool)
 	var races []bigfoot.Race
@@ -85,7 +105,7 @@ func main() {
 		rep, err := compiled.Run(bigfoot.RunConfig{Seed: s, Out: out})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "runtime error (seed %d): %v\n", s, err)
-			os.Exit(1)
+			return 1
 		}
 		if *stats && k == 0 {
 			fmt.Fprintf(os.Stderr, "mode=%s accesses=%d checks=%d ratio=%.3f shadowOps=%d shadowWords=%d\n",
@@ -100,10 +120,10 @@ func main() {
 	}
 	if len(races) == 0 {
 		fmt.Fprintln(os.Stderr, "no races detected")
-		return
+		return 0
 	}
 	for _, r := range races {
 		fmt.Fprintf(os.Stderr, "RACE on %s between threads %d and %d\n", r.Location, r.Threads[0], r.Threads[1])
 	}
-	os.Exit(3)
+	return 3
 }

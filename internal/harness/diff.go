@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file compares two Reports cell by cell so CI (and future PRs)
+// can spot perf-trajectory regressions mechanically instead of
+// eyeballing table diffs.  Only deterministic metrics are compared:
+// wall-clock fields (Time, WallOverhead, BaseTime, StaticTime, Phases)
+// vary run to run and would drown real regressions in noise.
+
+// Regression is one metric cell that got worse between two reports.
+type Regression struct {
+	Program  string  `json:"program"`
+	Detector string  `json:"detector,omitempty"` // "" for program-level metrics
+	Metric   string  `json:"metric"`
+	Old      float64 `json:"old"`
+	New      float64 `json:"new"`
+}
+
+// String renders "program/detector metric: old -> new".
+func (g Regression) String() string {
+	where := g.Program
+	if g.Detector != "" {
+		where += "/" + g.Detector
+	}
+	return fmt.Sprintf("%s %s: %g -> %g", where, g.Metric, g.Old, g.New)
+}
+
+// DefaultDiffTolerance is the relative slack Diff allows before
+// flagging a cell.  Every compared metric is deterministic, so the
+// tolerance absorbs intentional drift (recalibrated cost weights,
+// slightly different placements), not measurement noise.
+const DefaultDiffTolerance = 0.01
+
+// Diff compares new against old and returns every cell where new is
+// worse than old by more than the relative tolerance (tol < 0 uses
+// DefaultDiffTolerance).  All compared metrics are lower-is-better:
+// modeled overhead, check ratio, operation counts, peak shadow words,
+// space multiple, race count, and static checks inserted.  A program or
+// detector present in old but missing from new is reported as a
+// "missing" regression; two identical reports diff to nil.  Reports
+// from different run configurations are flagged up front — their cells
+// are not comparable.
+func Diff(old, new *Report, tol float64) []Regression {
+	if tol < 0 {
+		tol = DefaultDiffTolerance
+	}
+	var out []Regression
+	if old.Run != new.Run {
+		out = append(out, Regression{Program: "<run>", Metric: "options-mismatch"})
+	}
+	newByName := map[string]*ProgramResult{}
+	for _, p := range new.Programs {
+		newByName[p.Name] = p
+	}
+	// Old report order drives output order; sort detector names for
+	// stable output within a program.
+	for _, op := range old.Programs {
+		np := newByName[op.Name]
+		if np == nil {
+			out = append(out, Regression{Program: op.Name, Metric: "missing"})
+			continue
+		}
+		out = append(out, diffCell(op.Name, "", "checks_inserted", float64(op.ChecksInserted), float64(np.ChecksInserted), tol)...)
+		names := make([]string, 0, len(op.Detectors))
+		for n := range op.Detectors {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			od, nd := op.Detectors[n], np.Detectors[n]
+			if nd == nil {
+				out = append(out, Regression{Program: op.Name, Detector: n, Metric: "missing"})
+				continue
+			}
+			cells := []struct {
+				metric   string
+				old, new float64
+			}{
+				{"overhead", od.Overhead, nd.Overhead},
+				{"check_ratio", od.CheckRatio, nd.CheckRatio},
+				{"checks", float64(od.Checks), float64(nd.Checks)},
+				{"shadow_ops", float64(od.ShadowOps), float64(nd.ShadowOps)},
+				{"footprint_ops", float64(od.FootprintOps), float64(nd.FootprintOps)},
+				{"sync_ops", float64(od.SyncOps), float64(nd.SyncOps)},
+				{"peak_words", float64(od.PeakWords), float64(nd.PeakWords)},
+				{"space_over_base", od.SpaceOverX, nd.SpaceOverX},
+				{"races", float64(od.Races), float64(nd.Races)},
+			}
+			for _, c := range cells {
+				out = append(out, diffCell(op.Name, n, c.metric, c.old, c.new, tol)...)
+			}
+		}
+	}
+	return out
+}
+
+// diffCell flags a lower-is-better cell when new exceeds old by more
+// than the relative tolerance.  A zero old value allows no slack: any
+// growth from zero is flagged.
+func diffCell(program, det, metric string, old, new, tol float64) []Regression {
+	if new > old*(1+tol) {
+		return []Regression{{Program: program, Detector: det, Metric: metric, Old: old, New: new}}
+	}
+	return nil
+}

@@ -70,20 +70,22 @@ const (
 )
 
 // DetectorResult holds one detector's measurements on one program.
+// The JSON field names are part of the versioned report schema (see
+// ReportVersion); renames are schema changes.
 type DetectorResult struct {
-	Name         string
-	Time         time.Duration
-	Overhead     float64 // modeled overhead (primary, deterministic)
-	WallOverhead float64 // measured wall-time overhead (supplementary)
-	CheckRatio   float64 // executed checks / accesses
-	Checks       uint64
-	ShadowOps    uint64
-	FootprintOps uint64
-	SyncOps      uint64
-	PeakWords    uint64
-	SpaceOverX   float64 // peak shadow words / base data words
-	Races        int
-	ArrayModes   map[string]int
+	Name         string         `json:"name"`
+	Time         time.Duration  `json:"time_ns"`
+	Overhead     float64        `json:"overhead"`      // modeled overhead (primary, deterministic)
+	WallOverhead float64        `json:"wall_overhead"` // measured wall-time overhead (supplementary)
+	CheckRatio   float64        `json:"check_ratio"`   // executed checks / accesses
+	Checks       uint64         `json:"checks"`
+	ShadowOps    uint64         `json:"shadow_ops"`
+	FootprintOps uint64         `json:"footprint_ops"`
+	SyncOps      uint64         `json:"sync_ops"`
+	PeakWords    uint64         `json:"peak_words"`
+	SpaceOverX   float64        `json:"space_over_base"` // peak shadow words / base data words
+	Races        int            `json:"races"`
+	ArrayModes   map[string]int `json:"array_modes,omitempty"`
 }
 
 // modelOverhead computes the cost-model overhead of one detector run
@@ -99,29 +101,44 @@ func modelOverhead(checks, shadowOps, fpOps, syncOps, baseSteps uint64) float64 
 	return cost / float64(baseSteps)
 }
 
+// PhaseTimings records the wall-clock cost of each pipeline stage one
+// workload moved through: parsing, instrumenting (all five placements
+// plus proxy analysis), compiling every variant, and executing every
+// (variant, trial) job.  Run sums all executions, so at -parallel N it
+// can exceed the elapsed wall time.  Timings are non-deterministic and
+// excluded from Signature.
+type PhaseTimings struct {
+	Parse      time.Duration `json:"parse_ns"`
+	Instrument time.Duration `json:"instrument_ns"`
+	Compile    time.Duration `json:"compile_ns"`
+	Run        time.Duration `json:"run_ns"`
+}
+
 // ProgramResult holds all measurements for one workload.
 type ProgramResult struct {
-	Name  string
-	Suite string
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
 
 	// Static analysis (BigFoot placement).
-	MethodsAnalyzed int
-	StaticTime      time.Duration
-	ChecksInserted  int // static BigFoot check statements
+	MethodsAnalyzed int           `json:"methods_analyzed"`
+	StaticTime      time.Duration `json:"static_time_ns"`
+	ChecksInserted  int           `json:"checks_inserted"` // static BigFoot check statements
 
 	// Field/array check split for Figure 8, counted by a hook composed
 	// onto the FT and BF detector runs.
-	BFFieldChecks uint64
-	BFArrayChecks uint64
-	FTFieldChecks uint64
-	FTArrayChecks uint64
+	BFFieldChecks uint64 `json:"bf_field_checks"`
+	BFArrayChecks uint64 `json:"bf_array_checks"`
+	FTFieldChecks uint64 `json:"ft_field_checks"`
+	FTArrayChecks uint64 `json:"ft_array_checks"`
 
-	BaseTime  time.Duration
-	BaseSteps uint64
-	Accesses  uint64
-	BaseWords uint64
+	BaseTime  time.Duration `json:"base_time_ns"`
+	BaseSteps uint64        `json:"base_steps"`
+	Accesses  uint64        `json:"accesses"`
+	BaseWords uint64        `json:"base_words"`
 
-	Detectors map[string]*DetectorResult
+	Phases PhaseTimings `json:"phases"`
+
+	Detectors map[string]*DetectorResult `json:"detectors"`
 }
 
 // Options configures a harness run.
@@ -222,8 +239,10 @@ func (c *countingHook) CheckRange(t int, w bool, a *interp.Array, lo, hi, step i
 }
 
 // buildVariants instruments and compiles a program for all five
-// detectors plus the uninstrumented base.
-func buildVariants(base *bfj.Program) (*interp.Compiled, []variantSpec, analysis.Stats, error) {
+// detectors plus the uninstrumented base, recording the instrument and
+// compile phase costs in tm.
+func buildVariants(base *bfj.Program, tm *PhaseTimings) (*interp.Compiled, []variantSpec, analysis.Stats, error) {
+	instStart := time.Now()
 	every, _ := instrument.EveryAccess(base)
 	red, _ := instrument.RedCard(base)
 	an := analysis.New(base, analysis.DefaultOptions())
@@ -231,6 +250,10 @@ func buildVariants(base *bfj.Program) (*interp.Compiled, []variantSpec, analysis
 
 	redProx := proxy.Analyze(red)
 	bigProx := proxy.Analyze(big)
+	tm.Instrument = time.Since(instStart)
+
+	compStart := time.Now()
+	defer func() { tm.Compile = time.Since(compStart) }()
 	specs := []variantSpec{
 		{name: "FT", footprints: false, proxies: nil},
 		{name: "RC", footprints: false, proxies: redProx},
@@ -256,11 +279,14 @@ func buildVariants(base *bfj.Program) (*interp.Compiled, []variantSpec, analysis
 // prepare runs the compile-once stage for one workload: parse,
 // instrument per detector, and compile each variant.
 func (r *Runner) prepare(w workloads.Workload) (*programState, error) {
+	var tm PhaseTimings
+	parseStart := time.Now()
 	base, err := bfj.Parse(w.Source)
+	tm.Parse = time.Since(parseStart)
 	if err != nil {
 		return nil, fmt.Errorf("%s: parse: %w", w.Name, err)
 	}
-	baseC, variants, stats, err := buildVariants(base)
+	baseC, variants, stats, err := buildVariants(base, &tm)
 	if err != nil {
 		return nil, fmt.Errorf("%s: compile: %w", w.Name, err)
 	}
@@ -278,6 +304,7 @@ func (r *Runner) prepare(w workloads.Workload) (*programState, error) {
 			MethodsAnalyzed: stats.BodiesAnalyzed,
 			StaticTime:      stats.AnalysisTime,
 			ChecksInserted:  stats.ChecksPlaced,
+			Phases:          tm,
 			Detectors:       map[string]*DetectorResult{},
 		},
 	}
@@ -342,6 +369,11 @@ func (st *programState) finalize() {
 		return
 	}
 	res := st.res
+	for _, trials := range st.outcomes {
+		for i := range trials {
+			res.Phases.Run += trials[i].dur
+		}
+	}
 	base := st.outcomes[0]
 	res.BaseTime = minDur(base)
 	res.BaseSteps = base[0].counters.Steps
@@ -409,7 +441,13 @@ func (r *Runner) progress(st *programState) {
 
 // RunProgram evaluates one workload under every configuration.
 func (r *Runner) RunProgram(w workloads.Workload) (*ProgramResult, error) {
-	rs, err := r.runWorkloads(context.Background(), []workloads.Workload{w})
+	return r.RunProgramContext(context.Background(), w)
+}
+
+// RunProgramContext is RunProgram under a context: cancellation (or a
+// deadline) stops the evaluation and surfaces the cancellation error.
+func (r *Runner) RunProgramContext(ctx context.Context, w workloads.Workload) (*ProgramResult, error) {
+	rs, err := r.runWorkloads(ctx, []workloads.Workload{w})
 	if len(rs) == 1 {
 		return rs[0], err
 	}
@@ -530,27 +568,40 @@ func ratio(a, b uint64) float64 {
 	return float64(a) / float64(b)
 }
 
-// GeoMean computes the geometric mean of positive values; zero or
-// negative entries are clamped to a small positive epsilon as in the
-// paper's overhead aggregation.
+// GeoMeanFloor is the explicit lower clamp applied to every GeoMean
+// entry.  The geometric mean is undefined for non-positive values, and
+// a single near-zero overhead (a detector that did essentially no work
+// on one program) would otherwise drag the aggregate toward zero and
+// hide every other program's cost.  The floor trades that for a small,
+// documented upward bias: an entry below 1e-3 contributes as 1e-3, so
+// aggregates of near-zero overheads read as "≤ 0.001x", never less.
+// Renderers that must not inflate (Figure 8's relative overhead) divide
+// raw per-program values instead of aggregating through GeoMean.
+const GeoMeanFloor = 1e-3
+
+// GeoMean computes the geometric mean of xs with every entry clamped to
+// at least GeoMeanFloor (see its comment for the bias this introduces).
+// An empty input returns NaN — there is no neutral element to report,
+// and the previous silent 0 masked empty aggregations as "no overhead".
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	logSum := 0.0
 	for _, x := range xs {
-		if x < 1e-3 {
-			x = 1e-3
+		if x < GeoMeanFloor {
+			x = GeoMeanFloor
 		}
 		logSum += math.Log(x)
 	}
 	return math.Exp(logSum / float64(len(xs)))
 }
 
-// Mean computes the arithmetic mean.
+// Mean computes the arithmetic mean, or NaN for an empty input (the
+// same sentinel convention as GeoMean).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	s := 0.0
 	for _, x := range xs {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -83,12 +84,43 @@ func TestGeoMeanAndMean(t *testing.T) {
 	if m := Mean([]float64{1, 3}); m != 2 {
 		t.Errorf("Mean(1,3) = %f", m)
 	}
-	if GeoMean(nil) != 0 || Mean(nil) != 0 {
-		t.Error("empty aggregates should be 0")
+	// Empty aggregates return the NaN sentinel: the old silent 0 read as
+	// "no overhead" when nothing at all had been aggregated.
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(Mean(nil)) {
+		t.Error("empty aggregates must be NaN")
 	}
-	// Near-zero entries are clamped, not fatal.
-	if g := GeoMean([]float64{0, 1}); g <= 0 {
-		t.Errorf("clamped geomean = %f", g)
+	// The clamp floor is explicit and pinned: entries below GeoMeanFloor
+	// contribute exactly GeoMeanFloor, so the maximum upward bias is
+	// known (a near-zero overhead reads as 1e-3, never less).
+	if g, want := GeoMean([]float64{0, 1}), math.Sqrt(GeoMeanFloor); math.Abs(g-want) > 1e-12 {
+		t.Errorf("clamped geomean = %g, want sqrt(floor) = %g", g, want)
+	}
+	if g := GeoMean([]float64{-5}); math.Abs(g-GeoMeanFloor) > 1e-12 {
+		t.Errorf("negative entry must clamp to the floor, got %g", g)
+	}
+	if g := GeoMean([]float64{GeoMeanFloor}); math.Abs(g-GeoMeanFloor) > 1e-12 {
+		t.Errorf("floor entry must pass through, got %g", g)
+	}
+}
+
+func TestRatioAndRelOverheadEdgeCases(t *testing.T) {
+	if r := ratio(10, 0); r != 0 {
+		t.Errorf("ratio over zero base = %f, want 0", r)
+	}
+	if r := ratio(3, 4); r != 0.75 {
+		t.Errorf("ratio(3,4) = %f", r)
+	}
+	if r := relOverhead(2, 4); r != 0.5 {
+		t.Errorf("relOverhead(2,4) = %f", r)
+	}
+	// A negligible FT overhead (below the floor) makes the quotient
+	// meaningless; relOverhead reports parity instead of a blow-up.
+	if r := relOverhead(2, GeoMeanFloor/2); r != 1 {
+		t.Errorf("relOverhead with tiny denominator = %f, want 1", r)
+	}
+	// Negative numerators (timing jitter on wall overheads) clamp to 0.
+	if r := relOverhead(-0.5, 2); r != 0 {
+		t.Errorf("relOverhead with negative numerator = %f, want 0", r)
 	}
 }
 

@@ -8,7 +8,11 @@ import (
 )
 
 // This file renders the evaluation artifacts in the layout of the
-// paper's Figure 2, Figure 8, Table 1, and Table 2.
+// paper's Figure 2, Figure 8, Table 1, and Table 2.  Every renderer is
+// a pure view over a Report: the same struct WriteJSON serializes, so
+// the text tables and the JSON report can never disagree.  The
+// package-level functions are thin adapters for callers holding a bare
+// result slice.
 
 func collect(rs []*ProgramResult, f func(*ProgramResult) float64) []float64 {
 	out := make([]float64, 0, len(rs))
@@ -21,7 +25,8 @@ func collect(rs []*ProgramResult, f func(*ProgramResult) float64) []float64 {
 // Figure2 renders the summary comparison of the five detectors: the
 // design-feature matrix plus the measured mean run-time overhead
 // (geometric mean of per-program overhead multipliers).
-func Figure2(rs []*ProgramResult) string {
+func (rep *Report) Figure2() string {
+	rs := rep.Programs
 	var b strings.Builder
 	b.WriteString("Figure 2: Comparison to prior precise dynamic race detectors\n")
 	b.WriteString("=============================================================\n")
@@ -48,7 +53,8 @@ func Figure2(rs []*ProgramResult) string {
 // Figure8 renders the three panels of Figure 8: per-program check ratio
 // for FastTrack and BigFoot (split into array vs field checks), and
 // BigFoot's overhead relative to FastTrack.
-func Figure8(rs []*ProgramResult) string {
+func (rep *Report) Figure8() string {
+	rs := rep.Programs
 	var b strings.Builder
 	b.WriteString("Figure 8: Check Ratio (FT, BF) and BF/FT run-time overhead\n")
 	b.WriteString("===========================================================\n")
@@ -76,8 +82,12 @@ func Figure8(rs []*ProgramResult) string {
 	return b.String()
 }
 
+// relOverhead reports how a detector's overhead compares to FastTrack's
+// on the same program.  When FastTrack's own overhead is negligible
+// (below GeoMeanFloor) the ratio is meaningless, so it reports 1 (no
+// change) rather than a huge or negative quotient.
 func relOverhead(bf, ft float64) float64 {
-	if ft < 1e-3 {
+	if ft < GeoMeanFloor {
 		return 1
 	}
 	if bf < 0 {
@@ -100,7 +110,8 @@ func bar(x float64, width int) string {
 // Table1 renders checker performance: static-analysis cost, check
 // ratio, base time, and per-detector overheads with the ratio-to-FT
 // columns.
-func Table1(rs []*ProgramResult) string {
+func (rep *Report) Table1() string {
+	rs := rep.Programs
 	var b strings.Builder
 	b.WriteString("Table 1: Checker performance\n")
 	b.WriteString("============================\n")
@@ -142,7 +153,8 @@ func Table1(rs []*ProgramResult) string {
 
 // Table2 renders checker space overhead: base data words, FT shadow
 // multiple, and each detector's shadow space relative to FastTrack.
-func Table2(rs []*ProgramResult) string {
+func (rep *Report) Table2() string {
+	rs := rep.Programs
 	var b strings.Builder
 	b.WriteString("Table 2: Checker space overhead\n")
 	b.WriteString("===============================\n")
@@ -177,7 +189,8 @@ func Table2(rs []*ProgramResult) string {
 // Table1Wall renders the supplementary wall-clock overheads (noisy on
 // an interpreter substrate; the modeled overheads of Table 1 are the
 // primary comparison — see the cost-model comment in harness.go).
-func Table1Wall(rs []*ProgramResult) string {
+func (rep *Report) Table1Wall() string {
+	rs := rep.Programs
 	var b strings.Builder
 	b.WriteString("Table 1 (supplement): measured wall-clock overheads\n")
 	b.WriteString("====================================================\n")
@@ -206,25 +219,18 @@ func Table1Wall(rs []*ProgramResult) string {
 }
 
 // Summary renders a compact all-in-one report.
-func Summary(rs []*ProgramResult) string {
+func (rep *Report) Summary() string {
 	var b strings.Builder
-	b.WriteString(Figure2(rs))
+	b.WriteString(rep.Figure2())
 	b.WriteString("\n")
-	b.WriteString(Figure8(rs))
+	b.WriteString(rep.Figure8())
 	b.WriteString("\n")
-	b.WriteString(Table1(rs))
+	b.WriteString(rep.Table1())
 	b.WriteString("\n")
-	b.WriteString(Table1Wall(rs))
+	b.WriteString(rep.Table1Wall())
 	b.WriteString("\n")
-	b.WriteString(Table2(rs))
+	b.WriteString(rep.Table2())
 	return b.String()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Signature renders every deterministic field of the result set —
@@ -233,9 +239,9 @@ func max(a, b int) int {
 // timings.  Two harness runs with the same options must produce
 // byte-identical signatures regardless of worker count; the concurrency
 // tests pin exactly that.
-func Signature(rs []*ProgramResult) string {
+func (rep *Report) Signature() string {
 	var b strings.Builder
-	for _, r := range rs {
+	for _, r := range rep.Programs {
 		fmt.Fprintf(&b, "%s/%s bodies=%d placed=%d base[steps=%d acc=%d words=%d] split[ft=%d+%d bf=%d+%d]\n",
 			r.Suite, r.Name, r.MethodsAnalyzed, r.ChecksInserted,
 			r.BaseSteps, r.Accesses, r.BaseWords,
@@ -262,3 +268,35 @@ func Signature(rs []*ProgramResult) string {
 	}
 	return b.String()
 }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Adapters for callers holding a bare result slice (benchmarks, older
+// tests).  Each wraps the slice in an unversioned Report and delegates
+// to the corresponding view.
+
+// Figure2 renders Figure 2 for a bare result slice.
+func Figure2(rs []*ProgramResult) string { return (&Report{Programs: rs}).Figure2() }
+
+// Figure8 renders Figure 8 for a bare result slice.
+func Figure8(rs []*ProgramResult) string { return (&Report{Programs: rs}).Figure8() }
+
+// Table1 renders Table 1 for a bare result slice.
+func Table1(rs []*ProgramResult) string { return (&Report{Programs: rs}).Table1() }
+
+// Table1Wall renders the wall-clock supplement for a bare result slice.
+func Table1Wall(rs []*ProgramResult) string { return (&Report{Programs: rs}).Table1Wall() }
+
+// Table2 renders Table 2 for a bare result slice.
+func Table2(rs []*ProgramResult) string { return (&Report{Programs: rs}).Table2() }
+
+// Summary renders the all-in-one report for a bare result slice.
+func Summary(rs []*ProgramResult) string { return (&Report{Programs: rs}).Summary() }
+
+// Signature renders the deterministic signature for a bare result slice.
+func Signature(rs []*ProgramResult) string { return (&Report{Programs: rs}).Signature() }

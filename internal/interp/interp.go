@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"bigfoot/internal/bfj"
+	"bigfoot/internal/vc"
 )
 
 // Options configures an execution.
@@ -235,8 +236,16 @@ func (in *Interp) run() error {
 	return nil
 }
 
-// newThread registers a thread with the scheduler.
+// newThread registers a thread with the scheduler.  Thread ids are
+// bounded by vc.MaxThreads: epochs pack the id into 8 bits, so a run
+// that forked more threads would silently alias shadow state across
+// threads (missed and false races).  Exceeding the bound is a runtime
+// error, reported through the normal fail path of the forking thread.
 func (in *Interp) newThread(env frame) *Thread {
+	if len(in.threads) >= vc.MaxThreads {
+		fail("thread limit exceeded: fork would create thread %d, but epochs pack thread ids into %d values (vc.MaxThreads); more threads would alias race-detector shadow state",
+			len(in.threads), vc.MaxThreads)
+	}
 	t := &Thread{ID: len(in.threads), in: in, resume: make(chan struct{}), cur: env}
 	in.threads = append(in.threads, t)
 	return t

@@ -473,3 +473,50 @@ type syncCounter struct {
 
 func (s *syncCounter) VolWrite(t int, o *Object, f string)   { s.vol++ }
 func (s *syncCounter) WriteField(t int, o *Object, f string) { s.plain++ }
+
+// TestThreadLimitEnforced: epochs pack thread ids into 8 bits
+// (vc.MaxThreads = 256), and before this guard a run with more threads
+// silently aliased shadow state (thread 256 masked to 0), producing
+// missed and false races.  Exceeding the bound must instead be a
+// descriptive runtime error.
+func TestThreadLimitEnforced(t *testing.T) {
+	prog := bfj.MustParse(`
+class W { method nop() { r = 0; return r; } }
+setup {
+  w = new W;
+  for (i = 0; i < 300; i = i + 1) {
+    h = fork w.nop();
+    join h;
+  }
+}`)
+	_, err := Run(prog, NopHook{}, Options{Seed: 1})
+	if err == nil {
+		t.Fatal("forking 300 threads must fail: thread ids beyond 255 alias epochs")
+	}
+	for _, frag := range []string{"thread limit exceeded", "vc.MaxThreads"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+// TestThreadLimitBoundary: exactly vc.MaxThreads threads (setup thread 0
+// plus 255 forked workers) is still representable and must succeed.
+func TestThreadLimitBoundary(t *testing.T) {
+	prog := bfj.MustParse(`
+class W { method nop() { r = 0; return r; } }
+setup {
+  w = new W;
+  for (i = 0; i < 255; i = i + 1) {
+    h = fork w.nop();
+    join h;
+  }
+}`)
+	c, err := Run(prog, NopHook{}, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("255 forked threads must stay within the id space: %v", err)
+	}
+	if c.Threads != 256 {
+		t.Errorf("threads = %d, want 256", c.Threads)
+	}
+}

@@ -1,0 +1,82 @@
+// Package profiling wires the standard runtime/pprof and runtime/trace
+// collectors behind three CLI flags (-cpuprofile, -memprofile, -trace),
+// shared by cmd/bigfoot and cmd/bfbench.  The captured files feed `go
+// tool pprof` / `go tool trace` when chasing harness or interpreter
+// hot spots.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config names the output files; empty fields disable that collector.
+type Config struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// AddFlags registers -cpuprofile, -memprofile, and -trace on fs.
+func (c *Config) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write an allocation profile to this file at exit")
+	fs.StringVar(&c.Trace, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Start begins the configured collectors and returns a stop function
+// that must run before the process exits (it finalizes the profile
+// files).  Collectors that fail to start stop the ones already running
+// and return the error.
+func (c Config) Start() (stop func() error, err error) {
+	var cpu, tr *os.File
+	cleanup := func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if tr != nil {
+			trace.Stop()
+			tr.Close()
+		}
+	}
+	if c.CPUProfile != "" {
+		if cpu, err = os.Create(c.CPUProfile); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if c.Trace != "" {
+		if tr, err = os.Create(c.Trace); err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err = trace.Start(tr); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if c.MemProfile == "" {
+			return nil
+		}
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle live-heap numbers before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		return nil
+	}, nil
+}

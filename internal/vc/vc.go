@@ -7,7 +7,10 @@ package vc
 
 import "fmt"
 
-// MaxThreads bounds the thread-id component of an epoch.
+// MaxThreads bounds the thread-id component of an epoch: ids occupy the
+// low 8 bits of the packed word.  The interpreter refuses to fork a
+// thread with id ≥ MaxThreads (see interp.newThread), so detectors
+// never see an id the epoch encoding cannot represent.
 const MaxThreads = 1 << 8
 
 // Epoch is a packed clock@tid pair.  The zero value is the bottom epoch
@@ -15,7 +18,9 @@ const MaxThreads = 1 << 8
 // thread 0 start at clock 1).
 type Epoch uint64
 
-// MakeEpoch packs clock c of thread t.
+// MakeEpoch packs clock c of thread t.  Callers must ensure
+// t < MaxThreads (the interpreter enforces this at fork time); the mask
+// here is defense in depth, not an invitation to alias ids.
 func MakeEpoch(t int, c uint64) Epoch {
 	return Epoch(c<<8 | uint64(t&0xff))
 }
