@@ -38,7 +38,21 @@ import (
 	"bigfoot/internal/instrument"
 	"bigfoot/internal/interp"
 	"bigfoot/internal/proxy"
+	"bigfoot/internal/trace"
 )
+
+// Pos is a source position in BFJ source text (1-based line and column).
+// The zero Pos means "unknown"; see Pos.IsValid.
+type Pos = bfj.Pos
+
+// Recorder is a bounded ring-buffer execution recorder; attach one via
+// RunConfig.Trace to capture the event stream of a run and export it
+// with WriteChrome.  See the internal/trace package for details.
+type Recorder = trace.Recorder
+
+// NewRecorder creates a Recorder holding at most capacity events (a
+// default capacity if capacity <= 0).
+func NewRecorder(capacity int) *Recorder { return trace.NewRecorder(capacity) }
 
 // Mode selects a detector configuration (Figure 2 of the paper).
 type Mode int
@@ -157,15 +171,28 @@ type RunConfig struct {
 	Out io.Writer
 	// MaxSteps bounds execution (0 = default).
 	MaxSteps uint64
+	// Trace, when non-nil, records the execution's event stream —
+	// accesses, checks, synchronization, and detector-side dynamics
+	// (footprint commits, array refinements, shadow transitions).  A nil
+	// Trace leaves the untraced fast path untouched.
+	Trace *Recorder
 }
 
-// Race describes one reported data race.
+// Race describes one reported data race, with the provenance of both
+// access sites when the instrumented checks carried source positions.
 type Race struct {
 	// Location is a human-readable racy location, e.g. "Point#3.x/y/z"
 	// or "array#2[0..64:1]".
 	Location string
-	// Threads are the two racing thread ids.
+	// Threads are the two racing thread ids: Threads[0] made the earlier
+	// access, Threads[1] the later one.
 	Threads [2]int
+	// PrevPos and CurPos are the source positions of the earlier and
+	// later access; either may be invalid (zero) when the access carried
+	// no position (e.g. hand-written check statements).
+	PrevPos, CurPos Pos
+	// PrevWrite and CurWrite give the access kinds of the two sites.
+	PrevWrite, CurWrite bool
 }
 
 // Report is the outcome of one detected execution.
@@ -215,7 +242,12 @@ func (c *Compiled) Run(cfg RunConfig) (*Report, error) {
 		Footprints: useFP,
 		Proxies:    c.proxies,
 	})
-	cnt, err := c.art.Run(d, interp.Options{Seed: cfg.Seed, Out: cfg.Out, MaxSteps: cfg.MaxSteps})
+	var hook interp.Hook = d
+	if cfg.Trace != nil {
+		hook = trace.Tee(d, cfg.Trace)
+		d.SetObserver(cfg.Trace)
+	}
+	cnt, err := c.art.Run(hook, interp.Options{Seed: cfg.Seed, Out: cfg.Out, MaxSteps: cfg.MaxSteps})
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +262,14 @@ func (c *Compiled) Run(cfg RunConfig) (*Report, error) {
 		rep.CheckRatio = float64(rep.Checks) / float64(rep.Accesses)
 	}
 	for _, r := range d.Races() {
-		rep.Races = append(rep.Races, Race{Location: r.Desc, Threads: [2]int{r.PrevTID, r.CurTID}})
+		rep.Races = append(rep.Races, Race{
+			Location:  r.Desc,
+			Threads:   [2]int{r.PrevTID, r.CurTID},
+			PrevPos:   r.PrevPos,
+			CurPos:    r.CurPos,
+			PrevWrite: r.PrevWrite,
+			CurWrite:  r.CurWrite,
+		})
 	}
 	return rep, nil
 }

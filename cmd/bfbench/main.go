@@ -6,7 +6,7 @@
 //
 //	bfbench [-figure2] [-figure8] [-table1] [-table2] [-all]
 //	        [-scale N] [-threads T] [-trials K] [-seed S] [-program name]
-//	        [-parallel N] [-timeout D]
+//	        [-parallel N] [-timeout D] [-explain-races]
 //	        [-json path] [-diff old.json] [-tolerance F] [-json-check path]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
 //
@@ -61,6 +61,7 @@ func run() int {
 		diffOld   = flag.String("diff", "", "compare this run against a previous -json report")
 		tolerance = flag.Float64("tolerance", harness.DefaultDiffTolerance, "relative slack for -diff regressions")
 		jsonCheck = flag.String("json-check", "", "validate an existing JSON report and exit (no run)")
+		explain   = flag.Bool("explain-races", false, "print per-detector race provenance (both access sites)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -160,6 +161,9 @@ func run() int {
 		if *all || *tab2 {
 			fmt.Println(rep.Table2())
 		}
+		if *explain {
+			explainRaces(rep)
+		}
 	}
 
 	if *jsonOut != "" {
@@ -184,4 +188,57 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "no regressions vs %s (tolerance %g)\n", *diffOld, *tolerance)
 	}
 	return code
+}
+
+// explainRaces prints the provenance-enriched race reports (schema v2)
+// of every program and detector, two-sited where positions are known:
+//
+//	moldyn/BF: RACE on Particle#3.x: write at moldyn.bfj:42 by T2 races read at moldyn.bfj:17 by T1
+//
+// Workload sources are embedded, so positions are rendered against the
+// synthetic file name <program>.bfj.
+func explainRaces(rep *harness.Report) {
+	for _, p := range rep.Programs {
+		for _, name := range harness.DetectorNames {
+			dr := p.Detectors[name]
+			if dr == nil {
+				continue
+			}
+			for _, rr := range dr.RaceReports {
+				fmt.Printf("%s/%s: %s\n", p.Name, name, raceLine(p.Name+".bfj", rr))
+			}
+		}
+	}
+}
+
+func kindName(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+func site(file, pos string) string {
+	if pos == "" {
+		return file + ":?"
+	}
+	// pos is "line:col"; the headline cites file:line.
+	line := pos
+	for i := 0; i < len(pos); i++ {
+		if pos[i] == ':' {
+			line = pos[:i]
+			break
+		}
+	}
+	return file + ":" + line
+}
+
+func raceLine(file string, rr harness.RaceReport) string {
+	if rr.PrevPos == "" && rr.CurPos == "" {
+		return fmt.Sprintf("RACE on %s between threads %d and %d", rr.Desc, rr.PrevTID, rr.CurTID)
+	}
+	return fmt.Sprintf("RACE on %s: %s at %s by T%d races %s at %s by T%d",
+		rr.Desc,
+		kindName(rr.CurWrite), site(file, rr.CurPos), rr.CurTID,
+		kindName(rr.PrevWrite), site(file, rr.PrevPos), rr.PrevTID)
 }

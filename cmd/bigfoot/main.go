@@ -5,21 +5,28 @@
 //
 //	bigfoot [-mode bigfoot|fasttrack|redcard|slimstate|slimcard]
 //	        [-seed N] [-runs K] [-show] [-stats]
+//	        [-trace-out f.json] [-explain-races]
 //	        [-cpuprofile f] [-memprofile f] [-trace f] file.bfj
 //
 // -show prints the instrumented program (with placed checks) instead of
 // running it.  -runs K explores K consecutive schedule seeds starting at
 // -seed, compiling the program once and reusing the artifact for every
-// run; races are deduplicated across seeds.  The profiling flags
-// capture runtime/pprof and runtime/trace output for `go tool pprof` /
-// `go tool trace`.
+// run; races are deduplicated across seeds.  -trace-out records the
+// first seed's execution and writes it as Chrome trace_event JSON (open
+// in ui.perfetto.dev or chrome://tracing; one lane per thread).
+// -explain-races prints a per-race provenance block with both access
+// sites.  The profiling flags capture runtime/pprof and runtime/trace
+// output for `go tool pprof` / `go tool trace`.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"bigfoot"
@@ -50,6 +57,8 @@ func run() int {
 		runs     = flag.Int("runs", 1, "number of consecutive seeds to run (compiled once)")
 		show     = flag.Bool("show", false, "print the instrumented program and exit")
 		stats    = flag.Bool("stats", false, "print check/shadow statistics")
+		traceOut = flag.String("trace-out", "", "record the first seed's execution as Chrome trace_event JSON to this file")
+		explain  = flag.Bool("explain-races", false, "print per-race provenance (both access sites)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -99,13 +108,24 @@ func run() int {
 	for k := 0; k < *runs; k++ {
 		s := *seed + int64(k)
 		var out io.Writer
+		var rec *bigfoot.Recorder
 		if k == 0 {
 			out = os.Stdout // print output once; later seeds only hunt races
+			if *traceOut != "" {
+				rec = bigfoot.NewRecorder(0) // trace the first seed only
+			}
 		}
-		rep, err := compiled.Run(bigfoot.RunConfig{Seed: s, Out: out})
+		rep, err := compiled.Run(bigfoot.RunConfig{Seed: s, Out: out, Trace: rec})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "runtime error (seed %d): %v\n", s, err)
 			return 1
+		}
+		if rec != nil {
+			if err := writeTrace(*traceOut, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "bigfoot: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d events (%d dropped) -> %s\n", rec.Len(), rec.Dropped(), *traceOut)
 		}
 		if *stats && k == 0 {
 			fmt.Fprintf(os.Stderr, "mode=%s accesses=%d checks=%d ratio=%.3f shadowOps=%d shadowWords=%d\n",
@@ -122,8 +142,63 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "no races detected")
 		return 0
 	}
+	file := filepath.Base(flag.Arg(0))
 	for _, r := range races {
-		fmt.Fprintf(os.Stderr, "RACE on %s between threads %d and %d\n", r.Location, r.Threads[0], r.Threads[1])
+		fmt.Fprintln(os.Stderr, raceLine(file, r))
+		if *explain {
+			explainRace(os.Stderr, file, r)
+		}
 	}
 	return 3
+}
+
+func kindName(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+func site(file string, p bigfoot.Pos) string {
+	if !p.IsValid() {
+		return file + ":?"
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}
+
+// raceLine renders the two-sited report, later access first:
+//
+//	RACE on Counter#1.hits: write at racy.bfj:9 by T2 races read at racy.bfj:8 by T1
+//
+// Falling back to the position-free form when neither site carries a
+// source position (hand-written check statements).
+func raceLine(file string, r bigfoot.Race) string {
+	if !r.PrevPos.IsValid() && !r.CurPos.IsValid() {
+		return fmt.Sprintf("RACE on %s between threads %d and %d", r.Location, r.Threads[0], r.Threads[1])
+	}
+	return fmt.Sprintf("RACE on %s: %s at %s by T%d races %s at %s by T%d",
+		r.Location,
+		kindName(r.CurWrite), site(file, r.CurPos), r.Threads[1],
+		kindName(r.PrevWrite), site(file, r.PrevPos), r.Threads[0])
+}
+
+// explainRace prints the provenance block for -explain-races.
+func explainRace(w io.Writer, file string, r bigfoot.Race) {
+	fmt.Fprintf(w, "  earlier: %-5s of %s at %s (line:col %s) by thread %d\n",
+		kindName(r.PrevWrite), r.Location, site(file, r.PrevPos), r.PrevPos, r.Threads[0])
+	fmt.Fprintf(w, "  later:   %-5s of %s at %s (line:col %s) by thread %d\n",
+		kindName(r.CurWrite), r.Location, site(file, r.CurPos), r.CurPos, r.Threads[1])
+}
+
+// writeTrace renders the recorder as Chrome trace_event JSON, verifies
+// the bytes are valid JSON, and writes them to path.
+func writeTrace(path string, rec *bigfoot.Recorder) error {
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		return fmt.Errorf("trace: emitted invalid JSON (%d bytes)", buf.Len())
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }

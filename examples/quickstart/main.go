@@ -1,5 +1,11 @@
 // Quickstart: write a small racy BFJ program, check it with BigFoot,
 // fix it with a lock, and check again.
+//
+// The same racy program lives in quickstart.bfj for the CLI, where
+// -trace-out and -explain-races add an execution trace and race
+// provenance:
+//
+//	go run ./cmd/bigfoot -explain-races -trace-out trace.json examples/quickstart/quickstart.bfj
 package main
 
 import (
@@ -52,6 +58,13 @@ thread {
 }
 `
 
+func kind(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
 func main() {
 	fmt.Println("=== racy counter ===")
 	races, err := bigfoot.CheckRaces(racy, 1)
@@ -59,7 +72,10 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, r := range races {
-		fmt.Printf("RACE on %s between threads %d and %d\n", r.Location, r.Threads[0], r.Threads[1])
+		fmt.Printf("RACE on %s: %s at line %d by T%d races %s at line %d by T%d\n",
+			r.Location,
+			kind(r.CurWrite), r.CurPos.Line, r.Threads[1],
+			kind(r.PrevWrite), r.PrevPos.Line, r.Threads[0])
 	}
 	if len(races) == 0 {
 		fmt.Println("(no race exposed on this schedule; try another seed)")

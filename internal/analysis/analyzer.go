@@ -286,7 +286,7 @@ func substHistory(h History, y, x expr.Var) History {
 		case AccessFact:
 			p, ok := expr.SubstPath(v.Path, y, expr.V(x))
 			if ok {
-				out = out.Add(AccessFact{Kind: v.Kind, Path: p})
+				out = out.Add(AccessFact{Kind: v.Kind, Path: p, Positions: v.Positions})
 			}
 		case CheckFact:
 			p, ok := expr.SubstPath(v.Path, y, expr.V(x))
@@ -352,7 +352,7 @@ func (p *pass1) stmt(s bfj.Stmt, h History) History {
 			return acquireTransfer(h)
 		}
 		return h.Add(
-			AccessFact{Kind: bfj.Read, Path: expr.NewFieldPath(x.Y, x.F)},
+			AccessFact{Kind: bfj.Read, Path: expr.NewFieldPath(x.Y, x.F), Positions: posSet(x.Pos)},
 			BoolFact{E: expr.Eq(expr.V(x.X), expr.FieldSel{Base: x.Y, Field: x.F})},
 		)
 	case *bfj.FieldWrite:
@@ -361,18 +361,18 @@ func (p *pass1) stmt(s bfj.Stmt, h History) History {
 		}
 		h = killFieldAliases(h, x.F)
 		return h.Add(
-			AccessFact{Kind: bfj.Write, Path: expr.NewFieldPath(x.Y, x.F)},
+			AccessFact{Kind: bfj.Write, Path: expr.NewFieldPath(x.Y, x.F), Positions: posSet(x.Pos)},
 			BoolFact{E: expr.Eq(expr.FieldSel{Base: x.Y, Field: x.F}, x.E)},
 		)
 	case *bfj.ArrayRead:
 		return h.Add(
-			AccessFact{Kind: bfj.Read, Path: expr.ArrayPath{Base: x.Y, Range: expr.Singleton(x.Z)}},
+			AccessFact{Kind: bfj.Read, Path: expr.ArrayPath{Base: x.Y, Range: expr.Singleton(x.Z)}, Positions: posSet(x.Pos)},
 			BoolFact{E: expr.Eq(expr.V(x.X), expr.IndexSel{Base: x.Y, Index: x.Z})},
 		)
 	case *bfj.ArrayWrite:
 		h = killArrayAliases(h)
 		return h.Add(
-			AccessFact{Kind: bfj.Write, Path: expr.ArrayPath{Base: x.Y, Range: expr.Singleton(x.Z)}},
+			AccessFact{Kind: bfj.Write, Path: expr.ArrayPath{Base: x.Y, Range: expr.Singleton(x.Z)}, Positions: posSet(x.Pos)},
 			BoolFact{E: expr.Eq(expr.IndexSel{Base: x.Y, Index: x.Z}, x.E)},
 		)
 	case *bfj.Acquire, *bfj.Join:
@@ -558,7 +558,7 @@ func (p *pass1) invariantCandidates(lp *bfj.Loop, hin History) []Fact {
 					Step: expr.I(-k),
 				}
 			}
-			out = append(out, AccessFact{Kind: acc.kind, Path: expr.ArrayPath{Base: acc.base, Range: r}})
+			out = append(out, AccessFact{Kind: acc.kind, Path: expr.ArrayPath{Base: acc.base, Range: r}, Positions: posSet(acc.pos)})
 		}
 	}
 	return dedupFacts(out)
@@ -587,6 +587,16 @@ type arrayAccess struct {
 	base  expr.Var
 	index expr.Expr
 	kind  bfj.AccessKind
+	pos   bfj.Pos
+}
+
+// posSet wraps a single statement position as a fact position set
+// (empty for positionless, programmatically built ASTs).
+func posSet(p bfj.Pos) []bfj.Pos {
+	if !p.IsValid() {
+		return nil
+	}
+	return []bfj.Pos{p}
 }
 
 // collectArrayAccesses gathers every array access in the loop body
@@ -598,9 +608,9 @@ func collectArrayAccesses(lp *bfj.Loop) []arrayAccess {
 	walkStmt = func(s bfj.Stmt) {
 		switch x := s.(type) {
 		case *bfj.ArrayRead:
-			out = append(out, arrayAccess{x.Y, x.Z, bfj.Read})
+			out = append(out, arrayAccess{x.Y, x.Z, bfj.Read, x.Pos})
 		case *bfj.ArrayWrite:
-			out = append(out, arrayAccess{x.Y, x.Z, bfj.Write})
+			out = append(out, arrayAccess{x.Y, x.Z, bfj.Write, x.Pos})
 		case *bfj.If:
 			walkBlock(x.Then)
 			walkBlock(x.Else)

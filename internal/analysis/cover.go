@@ -199,7 +199,7 @@ func Checks(h History, a AntSet) []bfj.CheckItem {
 		if EntailsAnt(h, a, acc.Kind, acc.Path) {
 			continue // a later anticipated access will cover it
 		}
-		out = append(out, bfj.CheckItem{Kind: acc.Kind, Path: acc.Path})
+		out = append(out, bfj.CheckItem{Kind: acc.Kind, Path: acc.Path, Positions: acc.Positions})
 	}
 	return out
 }
@@ -229,7 +229,7 @@ func ChecksVs(h, hPrime History, a AntSet) []bfj.CheckItem {
 		if EntailsAnt(h, a, acc.Kind, acc.Path) {
 			continue // a later anticipated access will cover it
 		}
-		out = append(out, bfj.CheckItem{Kind: acc.Kind, Path: acc.Path})
+		out = append(out, bfj.CheckItem{Kind: acc.Kind, Path: acc.Path, Positions: acc.Positions})
 	}
 	return out
 }

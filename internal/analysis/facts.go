@@ -40,9 +40,13 @@ type BoolFact struct {
 }
 
 // AccessFact records a past access p✁ with no subsequent release.
+// Positions is the set of source positions of the access statements the
+// fact stands for; it is metadata excluded from Key(), so facts with
+// the same kind and path unify regardless of where the accesses sit.
 type AccessFact struct {
-	Kind bfj.AccessKind
-	Path expr.Path
+	Kind      bfj.AccessKind
+	Path      expr.Path
+	Positions []bfj.Pos
 }
 
 // CheckFact records a past check p✓ with no subsequent release.
@@ -112,9 +116,26 @@ type solverCell struct{ s *entail.Solver }
 func NewHistory(facts ...Fact) History {
 	h := History{facts: map[string]Fact{}, solver: &solverCell{}}
 	for _, f := range facts {
-		h.facts[f.Key()] = f
+		h.facts[f.Key()] = mergeFactPositions(h.facts[f.Key()], f)
 	}
 	return h
+}
+
+// mergeFactPositions unions the position metadata when a new access fact
+// replaces an existing fact with the same key (same kind and path, seen
+// at a different source position), so a check later derived from the
+// fact covers every contributing access site.
+func mergeFactPositions(old, f Fact) Fact {
+	if old == nil {
+		return f
+	}
+	na, ok1 := f.(AccessFact)
+	oa, ok2 := old.(AccessFact)
+	if !ok1 || !ok2 || len(oa.Positions) == 0 {
+		return f
+	}
+	na.Positions = bfj.UnionPos(oa.Positions, na.Positions)
+	return na
 }
 
 // Facts returns the facts in deterministic (key-sorted) order.
@@ -150,7 +171,7 @@ func (h History) Add(facts ...Fact) History {
 		n.facts[k] = f
 	}
 	for _, f := range facts {
-		n.facts[f.Key()] = f
+		n.facts[f.Key()] = mergeFactPositions(n.facts[f.Key()], f)
 	}
 	return n
 }

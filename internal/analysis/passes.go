@@ -240,7 +240,7 @@ func (p *pass3) stmt(s bfj.Stmt, h History, out *bfj.Block, b *bfj.Block, i int)
 		}
 		emit(bfj.CloneStmt(s))
 		return h.Add(
-			AccessFact{Kind: bfj.Read, Path: expr.NewFieldPath(x.Y, x.F)},
+			AccessFact{Kind: bfj.Read, Path: expr.NewFieldPath(x.Y, x.F), Positions: posSet(x.Pos)},
 			BoolFact{E: expr.Eq(expr.V(x.X), expr.FieldSel{Base: x.Y, Field: x.F})},
 		)
 	case *bfj.FieldWrite:
@@ -254,20 +254,20 @@ func (p *pass3) stmt(s bfj.Stmt, h History, out *bfj.Block, b *bfj.Block, i int)
 		emit(bfj.CloneStmt(s))
 		h = killFieldAliases(h, x.F)
 		return h.Add(
-			AccessFact{Kind: bfj.Write, Path: expr.NewFieldPath(x.Y, x.F)},
+			AccessFact{Kind: bfj.Write, Path: expr.NewFieldPath(x.Y, x.F), Positions: posSet(x.Pos)},
 			BoolFact{E: expr.Eq(expr.FieldSel{Base: x.Y, Field: x.F}, x.E)},
 		)
 	case *bfj.ArrayRead:
 		emit(bfj.CloneStmt(s))
 		return h.Add(
-			AccessFact{Kind: bfj.Read, Path: expr.ArrayPath{Base: x.Y, Range: expr.Singleton(x.Z)}},
+			AccessFact{Kind: bfj.Read, Path: expr.ArrayPath{Base: x.Y, Range: expr.Singleton(x.Z)}, Positions: posSet(x.Pos)},
 			BoolFact{E: expr.Eq(expr.V(x.X), expr.IndexSel{Base: x.Y, Index: x.Z})},
 		)
 	case *bfj.ArrayWrite:
 		emit(bfj.CloneStmt(s))
 		h = killArrayAliases(h)
 		return h.Add(
-			AccessFact{Kind: bfj.Write, Path: expr.ArrayPath{Base: x.Y, Range: expr.Singleton(x.Z)}},
+			AccessFact{Kind: bfj.Write, Path: expr.ArrayPath{Base: x.Y, Range: expr.Singleton(x.Z)}, Positions: posSet(x.Pos)},
 			BoolFact{E: expr.Eq(expr.IndexSel{Base: x.Y, Index: x.Z}, x.E)},
 		)
 	case *bfj.Acquire:

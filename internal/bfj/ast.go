@@ -117,31 +117,36 @@ type NewArray struct {
 	Size expr.Expr
 }
 
-// FieldRead is x = y.f.
+// FieldRead is x = y.f.  Pos locates the access in the original source
+// (zero if the AST was built programmatically).
 type FieldRead struct {
 	X, Y expr.Var
 	F    string
+	Pos  Pos
 }
 
 // FieldWrite is y.f = x (RHS restricted to a pure expression; ANF
 // guarantees it is heap-free).
 type FieldWrite struct {
-	Y expr.Var
-	F string
-	E expr.Expr
+	Y   expr.Var
+	F   string
+	E   expr.Expr
+	Pos Pos
 }
 
 // ArrayRead is x = y[z].
 type ArrayRead struct {
 	X, Y expr.Var
 	Z    expr.Expr
+	Pos  Pos
 }
 
 // ArrayWrite is y[z] = e.
 type ArrayWrite struct {
-	Y expr.Var
-	Z expr.Expr
-	E expr.Expr
+	Y   expr.Var
+	Z   expr.Expr
+	E   expr.Expr
+	Pos Pos
 }
 
 // Acquire is acquire l.
@@ -193,10 +198,14 @@ type Join struct {
 }
 
 // CheckItem is one path within a check(C) statement, distinguished by
-// access kind.
+// access kind.  Positions is the sorted set of source positions of the
+// accesses this item covers: a single-access check carries one position,
+// a coalesced check carries the union of its constituents' positions.
+// The slice is treated as immutable and may be shared across clones.
 type CheckItem struct {
-	Kind AccessKind
-	Path expr.Path
+	Kind      AccessKind
+	Path      expr.Path
+	Positions []Pos
 }
 
 // Check is the explicit race check statement check(C).  Instrumentation

@@ -474,12 +474,12 @@ func (p *parser) refreshTemps(hoists []Stmt, cond expr.Expr) ([]Stmt, expr.Expr)
 		case *FieldRead:
 			nt := p.fresh()
 			mapping[x.X] = nt
-			out = append(out, &FieldRead{X: nt, Y: substVar(x.Y), F: x.F})
+			out = append(out, &FieldRead{X: nt, Y: substVar(x.Y), F: x.F, Pos: x.Pos})
 		case *ArrayRead:
 			nt := p.fresh()
 			nz := substExpr(x.Z)
 			mapping[x.X] = nt
-			out = append(out, &ArrayRead{X: nt, Y: substVar(x.Y), Z: nz})
+			out = append(out, &ArrayRead{X: nt, Y: substVar(x.Y), Z: nz, Pos: x.Pos})
 		default:
 			out = append(out, CloneStmt(s))
 		}
@@ -603,6 +603,7 @@ func (p *parser) parseFor(out *Block) error {
 // parseSimpleStmt handles assignment / heap-write / call / rename
 // statements that begin with an identifier.
 func (p *parser) parseSimpleStmt(out *Block) error {
+	start := posOf(p.cur())
 	id, err := p.ident()
 	if err != nil {
 		return err
@@ -638,7 +639,7 @@ func (p *parser) parseSimpleStmt(out *Block) error {
 			if _, err := p.expect(";"); err != nil {
 				return err
 			}
-			out.Stmts = append(out.Stmts, &FieldWrite{Y: x, F: f, E: e})
+			out.Stmts = append(out.Stmts, &FieldWrite{Y: x, F: f, E: e, Pos: start})
 			return nil
 		case p.at("("): // y.m(args);
 			args, err := p.parseArgs(out)
@@ -672,7 +673,7 @@ func (p *parser) parseSimpleStmt(out *Block) error {
 		if _, err := p.expect(";"); err != nil {
 			return err
 		}
-		out.Stmts = append(out.Stmts, &ArrayWrite{Y: x, Z: z, E: e})
+		out.Stmts = append(out.Stmts, &ArrayWrite{Y: x, Z: z, E: e, Pos: start})
 		return nil
 	}
 	return p.errf(p.cur(), "expected assignment or call after %q", id)
@@ -805,6 +806,7 @@ func (p *parser) parseArgs(out *Block) ([]expr.Expr, error) {
 // ---------------------------------------------------------------------------
 
 func (p *parser) parseCheckItem() (CheckItem, error) {
+	kw := posOf(p.cur())
 	var kind AccessKind
 	switch {
 	case p.eat("read"):
@@ -866,7 +868,7 @@ func (p *parser) parseCheckItem() (CheckItem, error) {
 	if _, err := p.expect(")"); err != nil {
 		return CheckItem{}, err
 	}
-	return CheckItem{Kind: kind, Path: path}, nil
+	return CheckItem{Kind: kind, Path: path, Positions: []Pos{kw}}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -1054,6 +1056,7 @@ func (p *parser) parsePostfix(out *Block) (expr.Expr, error) {
 			if !ok {
 				return nil, p.errf(p.cur(), "field selection requires a variable base")
 			}
+			pos := posOf(p.cur())
 			p.advance()
 			f, err := p.ident()
 			if err != nil {
@@ -1063,13 +1066,14 @@ func (p *parser) parsePostfix(out *Block) (expr.Expr, error) {
 				return nil, p.errf(p.cur(), "heap read not allowed here")
 			}
 			tmp := p.fresh()
-			out.Stmts = append(out.Stmts, &FieldRead{X: tmp, Y: base.Name, F: f})
+			out.Stmts = append(out.Stmts, &FieldRead{X: tmp, Y: base.Name, F: f, Pos: pos})
 			e = expr.V(tmp)
 		case p.at("["):
 			base, ok := e.(expr.VarRef)
 			if !ok {
 				return nil, p.errf(p.cur(), "array indexing requires a variable base")
 			}
+			pos := posOf(p.cur())
 			p.advance()
 			idx, err := p.parseExpr(out)
 			if err != nil {
@@ -1082,7 +1086,7 @@ func (p *parser) parsePostfix(out *Block) (expr.Expr, error) {
 				return nil, p.errf(p.cur(), "heap read not allowed here")
 			}
 			tmp := p.fresh()
-			out.Stmts = append(out.Stmts, &ArrayRead{X: tmp, Y: base.Name, Z: idx})
+			out.Stmts = append(out.Stmts, &ArrayRead{X: tmp, Y: base.Name, Z: idx, Pos: pos})
 			e = expr.V(tmp)
 		default:
 			return e, nil
@@ -1096,3 +1100,5 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func posOf(t token) Pos { return Pos{Line: t.Line, Col: t.Col} }

@@ -71,10 +71,24 @@ func coalesceClass(s *entail.Solver, items []bfj.CheckItem) []bfj.CheckItem {
 	return coalesceFields(items)
 }
 
+// classPositions is the sorted union of the class's constituent position
+// sets.  Merged items attribute positions at class granularity: range
+// merging and read-covered-by-write dropping lose the item-level
+// attribution, so every item emitted for the class carries the full set
+// of access sites the class stood for.
+func classPositions(items []bfj.CheckItem) []bfj.Pos {
+	sets := make([][]bfj.Pos, len(items))
+	for i, it := range items {
+		sets[i] = it.Positions
+	}
+	return bfj.UnionPos(sets...)
+}
+
 // coalesceFields merges field paths per kind into one coalesced group,
 // dropping read fields already covered by the write group.
 func coalesceFields(items []bfj.CheckItem) []bfj.CheckItem {
 	base := items[0].Path.Designator()
+	poss := classPositions(items)
 	kindFields := map[bfj.AccessKind]map[string]bool{}
 	for _, it := range items {
 		fp := it.Path.(expr.FieldPath)
@@ -90,7 +104,7 @@ func coalesceFields(items []bfj.CheckItem) []bfj.CheckItem {
 	var out []bfj.CheckItem
 	writes := kindFields[bfj.Write]
 	if len(writes) > 0 {
-		out = append(out, bfj.CheckItem{Kind: bfj.Write, Path: expr.NewFieldPath(base, keys(writes)...)})
+		out = append(out, bfj.CheckItem{Kind: bfj.Write, Path: expr.NewFieldPath(base, keys(writes)...), Positions: poss})
 	}
 	var readOnly []string
 	for f := range kindFields[bfj.Read] {
@@ -99,7 +113,7 @@ func coalesceFields(items []bfj.CheckItem) []bfj.CheckItem {
 		}
 	}
 	if len(readOnly) > 0 {
-		out = append(out, bfj.CheckItem{Kind: bfj.Read, Path: expr.NewFieldPath(base, readOnly...)})
+		out = append(out, bfj.CheckItem{Kind: bfj.Read, Path: expr.NewFieldPath(base, readOnly...), Positions: poss})
 	}
 	return out
 }
@@ -117,6 +131,7 @@ func keys(m map[string]bool) []string {
 // covered by the (merged) write ranges.
 func coalesceArrays(s *entail.Solver, items []bfj.CheckItem) []bfj.CheckItem {
 	base := items[0].Path.Designator()
+	poss := classPositions(items)
 	byKind := map[bfj.AccessKind][]expr.StridedRange{}
 	for _, it := range items {
 		ap := it.Path.(expr.ArrayPath)
@@ -134,10 +149,10 @@ func coalesceArrays(s *entail.Solver, items []bfj.CheckItem) []bfj.CheckItem {
 	}
 	var out []bfj.CheckItem
 	for _, r := range writeRanges {
-		out = append(out, bfj.CheckItem{Kind: bfj.Write, Path: expr.ArrayPath{Base: base, Range: r}})
+		out = append(out, bfj.CheckItem{Kind: bfj.Write, Path: expr.ArrayPath{Base: base, Range: r}, Positions: poss})
 	}
 	for _, r := range readRanges {
-		out = append(out, bfj.CheckItem{Kind: bfj.Read, Path: expr.ArrayPath{Base: base, Range: r}})
+		out = append(out, bfj.CheckItem{Kind: bfj.Read, Path: expr.ArrayPath{Base: base, Range: r}, Positions: poss})
 	}
 	return out
 }

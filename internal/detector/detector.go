@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bigfoot/internal/bfj"
 	"bigfoot/internal/footprint"
 	"bigfoot/internal/interp"
 	"bigfoot/internal/proxy"
@@ -47,18 +48,49 @@ type Config struct {
 	Proxies *proxy.Table
 }
 
-// Race is a reported data race.
+// Race is a reported data race with two-sited provenance: the source
+// position and access kind of both conflicting accesses.  Positions are
+// zero when the program was built without source text (programmatic
+// ASTs) or when the earlier access predates provenance tracking for its
+// location (e.g. the representative read position under read-shared
+// state — see shadow.State).
 type Race struct {
-	Desc     string // human-readable location, e.g. "Point#3.x/y/z"
-	PrevTID  int
-	CurTID   int
-	ObjID    int    // -1 for array races
-	Field    string // group representative ("" for array races)
-	ArrayID  int    // -1 for field races
-	Lo, Hi   int    // racy committed range (arrays)
-	Step     int
-	ClassTag string
+	Desc      string // human-readable location, e.g. "Point#3.x/y/z"
+	PrevTID   int
+	CurTID    int
+	PrevPos   bfj.Pos // source position of the earlier access
+	CurPos    bfj.Pos // source position of the later access
+	PrevWrite bool    // earlier access was a write
+	CurWrite  bool    // later access was a write
+	ObjID     int     // -1 for array races
+	Field     string  // group representative ("" for array races)
+	ArrayID   int     // -1 for field races
+	Lo, Hi    int     // racy committed range (arrays)
+	Step      int
+	ClassTag  string
 }
+
+// Observer receives detector-side dynamics that the interp.Hook stream
+// cannot see: footprint commits, array-mode refinements, and
+// shadow-state transitions.  Like Hook callbacks, Observer callbacks run
+// on the scheduler token (globally serialized, no locking needed).  A
+// nil observer costs a single pointer test per event site.
+type Observer interface {
+	// FootprintCommit reports that thread t committed pending footprint
+	// entries covering `arrays` distinct arrays and `entries` range
+	// entries in total.
+	FootprintCommit(t int, arrays, entries int)
+	// ArrayRefinement reports an array shadow representation change
+	// (e.g. "coarse" → "strided") triggered by a commit of thread t.
+	ArrayRefinement(t int, arrayID int, from, to string)
+	// ReadShared reports that a field shadow location inflated from an
+	// exclusive read epoch to a read-shared vector at a check by t.
+	ReadShared(t int, desc string)
+}
+
+// SetObserver attaches an observer for detector-side events (nil
+// detaches).  Must be called before the run starts.
+func (d *Detector) SetObserver(o Observer) { d.obs = o }
 
 // Stats are the dynamic cost counters of one run.
 type Stats struct {
@@ -87,6 +119,8 @@ type Detector struct {
 
 	races    []Race
 	raceKeys map[string]bool
+
+	obs Observer
 
 	Stats Stats
 
@@ -199,15 +233,31 @@ func (d *Detector) commit(t int) {
 		return
 	}
 	now := d.clk.now(t)
+	arrays, entries := 0, 0
+	lastArray := -1
 	d.fps[t].Drain(func(arrayID int, e footprint.Entry) {
 		a := d.arrByID[arrayID]
 		sh := d.compShadow(a)
-		races, ops := sh.Commit(e.Write, t, now, e.Lo, e.Hi, e.Step)
+		before := sh.Mode()
+		races, ops := sh.CommitAt(e.Write, t, now, e.Lo, e.Hi, e.Step, e.Pos)
 		d.Stats.ShadowOps += ops
 		for _, r := range races {
 			d.reportArrayRace(r, a, e)
 		}
+		if d.obs != nil {
+			if after := sh.Mode(); after != before {
+				d.obs.ArrayRefinement(t, arrayID, before.String(), after.String())
+			}
+			entries++
+			if arrayID != lastArray {
+				arrays++
+				lastArray = arrayID
+			}
+		}
 	})
+	if d.obs != nil && entries > 0 {
+		d.obs.FootprintCommit(t, arrays, entries)
+	}
 	d.Stats.FootprintOps += d.fps[t].AppendOps
 	d.fps[t].AppendOps = 0
 }
@@ -217,14 +267,17 @@ func (d *Detector) commit(t int) {
 // ---------------------------------------------------------------------------
 
 // CheckField implements interp.Hook: one shadow operation per proxy
-// group touched by the (possibly coalesced) check.
-func (d *Detector) CheckField(t int, write bool, o *interp.Object, fields []string) {
+// group touched by the (possibly coalesced) check.  The first position
+// of the (sorted) position set is the representative access site for
+// provenance.
+func (d *Detector) CheckField(t int, write bool, o *interp.Object, fields []string, poss []bfj.Pos) {
 	var keys []string
 	if d.cfg.Proxies != nil {
 		keys = d.cfg.Proxies.GroupsOf(fields)
 	} else {
 		keys = fields
 	}
+	pos := firstPos(poss)
 	sh := d.objShadow(o)
 	now := d.clk.now(t)
 	for _, k := range keys {
@@ -233,19 +286,24 @@ func (d *Detector) CheckField(t int, write bool, o *interp.Object, fields []stri
 			st = &shadow.State{}
 			sh.states[k] = st
 		}
-		if r := st.Apply(write, t, now); r != nil {
+		wasShared := st.Shared()
+		if r := st.ApplyAt(write, t, now, pos); r != nil {
 			d.reportFieldRace(r, o, k)
+		}
+		if d.obs != nil && !wasShared && st.Shared() {
+			d.obs.ReadShared(t, fmt.Sprintf("%s#%d.%s", o.Class.Name, o.ID, k))
 		}
 		d.Stats.ShadowOps++
 	}
 }
 
 // CheckRange implements interp.Hook.
-func (d *Detector) CheckRange(t int, write bool, a *interp.Array, lo, hi, step int) {
+func (d *Detector) CheckRange(t int, write bool, a *interp.Array, lo, hi, step int, poss []bfj.Pos) {
+	pos := firstPos(poss)
 	if d.cfg.Footprints {
 		d.arrByID[a.ID] = a
 		f := d.fp(t)
-		f.Add(a.ID, lo, hi, step, write)
+		f.Add(a.ID, lo, hi, step, write, pos)
 		if d.cfg.PeriodicCommit > 0 && f.AppendOps >= uint64(d.cfg.PeriodicCommit) {
 			d.commit(t)
 		}
@@ -255,11 +313,20 @@ func (d *Detector) CheckRange(t int, write bool, a *interp.Array, lo, hi, step i
 	sh := d.fineShadow(a)
 	now := d.clk.now(t)
 	for i := lo; i < hi; i += step {
-		if r := sh.states[i].Apply(write, t, now); r != nil {
+		if r := sh.states[i].ApplyAt(write, t, now, pos); r != nil {
 			d.reportArrayRace(r, a, footprint.Entry{Lo: i, Hi: i + 1, Step: 1, Write: write})
 		}
 		d.Stats.ShadowOps++
 	}
+}
+
+// firstPos picks the representative position of a check's position set
+// (the sets are sorted, so this is the earliest covered access site).
+func firstPos(poss []bfj.Pos) bfj.Pos {
+	if len(poss) > 0 {
+		return poss[0]
+	}
+	return bfj.Pos{}
 }
 
 func (d *Detector) objShadow(o *interp.Object) *objShadow {
@@ -318,10 +385,21 @@ func (d *Detector) reportFieldRace(r *shadow.Race, o *interp.Object, key string)
 	d.raceKeys[desc] = true
 	d.races = append(d.races, Race{
 		Desc: desc, PrevTID: r.PrevTID, CurTID: r.CurTID,
+		PrevPos: r.PrevPos, CurPos: r.CurPos, PrevWrite: r.PrevW, CurWrite: r.IsWrite,
 		ObjID: o.ID, Field: key, ArrayID: -1, ClassTag: o.Class.Name,
 	})
 }
 
+// reportArrayRace deduplicates by the exact committed range
+// "array#id[lo..hi:step]".  This key is deliberately range-exact, not
+// element-exact: adaptive refinement can re-report one underlying racy
+// element under several overlapping committed ranges (e.g. a coarse
+// [0..100:1] commit and a later fine [10..11:1] commit both racing on
+// element 10 produce two reports).  Collapsing overlapping ranges would
+// require per-element attribution that the compressed representations
+// deliberately avoid, and would change the deterministic race counts
+// the benchmark tables pin — so the behavior is documented and pinned
+// by TestOverlappingRangeDedup instead.
 func (d *Detector) reportArrayRace(r *shadow.Race, a *interp.Array, e footprint.Entry) {
 	desc := fmt.Sprintf("array#%d[%d..%d:%d]", a.ID, e.Lo, e.Hi, e.Step)
 	if d.raceKeys[desc] {
@@ -330,6 +408,7 @@ func (d *Detector) reportArrayRace(r *shadow.Race, a *interp.Array, e footprint.
 	d.raceKeys[desc] = true
 	d.races = append(d.races, Race{
 		Desc: desc, PrevTID: r.PrevTID, CurTID: r.CurTID,
+		PrevPos: r.PrevPos, CurPos: r.CurPos, PrevWrite: r.PrevW, CurWrite: r.IsWrite,
 		ObjID: -1, ArrayID: a.ID, Lo: e.Lo, Hi: e.Hi, Step: e.Step,
 	})
 }

@@ -484,3 +484,63 @@ thread { for (i = 256; i < 768; i = i + 1) { a[i] = i; } }
 		t.Errorf("PeriodicCommit changed reported races: on=%s off=%s", want, got)
 	}
 }
+
+// TestOverlappingRangeDedup pins the array-race dedup semantics
+// documented on reportArrayRace: dedup keys on the EXACT committed
+// range [lo..hi:step], so two overlapping-but-distinct committed ranges
+// that both race yield two race records (not collapsed into one), while
+// a later racy commit of an identical range is suppressed.
+func TestOverlappingRangeDedup(t *testing.T) {
+	d := New(Config{Name: "SS", Footprints: true})
+	a := &interp.Array{ID: 7, Elems: make([]interp.Value, 8)}
+	lk := &interp.Object{ID: 99, Class: &bfj.Class{Name: "Lk"}}
+	d.Fork(0, 1)
+	d.Fork(0, 2)
+	d.Fork(0, 3)
+
+	// T1 writes [0..8) and commits at thread end; first writer, no race.
+	d.CheckRange(1, true, a, 0, 8, 1, nil)
+	d.ThreadEnd(1)
+
+	// T2 commits two overlapping subranges in separate sync epochs.
+	// Both conflict with T1's writes (no happens-before edge), so each
+	// commit races — under its own exact range key.
+	d.CheckRange(2, true, a, 0, 4, 1, nil)
+	d.Acquire(2, lk) // commit [0..4:1]
+	d.CheckRange(2, true, a, 2, 6, 1, nil)
+	d.Release(2, lk) // commit [2..6:1]; indices 4,5 still race with T1
+
+	if got := d.RaceCount(); got != 2 {
+		t.Fatalf("races = %d (%v), want 2 distinct overlapping ranges", got, d.SortedRaceDescs())
+	}
+	want := map[string]bool{"array#7[0..4:1]": true, "array#7[2..6:1]": true}
+	for _, r := range d.Races() {
+		if !want[r.Desc] {
+			t.Errorf("unexpected race desc %q", r.Desc)
+		}
+		delete(want, r.Desc)
+	}
+	for desc := range want {
+		t.Errorf("missing race record for range %s", desc)
+	}
+
+	// The two records overlap on [2..4) — the dedup deliberately did NOT
+	// collapse them into one representative.
+	rs := d.Races()
+	if len(rs) == 2 {
+		lo := max(rs[0].Lo, rs[1].Lo)
+		hi := min(rs[0].Hi, rs[1].Hi)
+		if lo >= hi {
+			t.Errorf("test ranges do not overlap: %+v", rs)
+		}
+	}
+
+	// An identical range committed racily again is deduplicated: T3
+	// repeats [2..6:1] (racing with T2's writes) and no new record
+	// appears.
+	d.CheckRange(3, true, a, 2, 6, 1, nil)
+	d.ThreadEnd(3)
+	if got := d.RaceCount(); got != 2 {
+		t.Errorf("races after identical re-commit = %d, want still 2 (%v)", got, d.SortedRaceDescs())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"bigfoot/internal/bfj"
 	"bigfoot/internal/interp"
 	"bigfoot/internal/shadow"
 )
@@ -84,9 +85,9 @@ func (o *Oracle) fieldState(obj *interp.Object, f string) *shadow.State {
 	return st
 }
 
-func (o *Oracle) access(t int, write bool, obj *interp.Object, f string) {
+func (o *Oracle) access(t int, write bool, obj *interp.Object, f string, pos bfj.Pos) {
 	st := o.fieldState(obj, f)
-	if r := st.Apply(write, t, o.clk.now(t)); r != nil {
+	if r := st.ApplyAt(write, t, o.clk.now(t), pos); r != nil {
 		key := fmt.Sprintf("%s#%d.%s", obj.Class.Name, obj.ID, f)
 		if !o.racyFields[key] {
 			o.racyFields[key] = true
@@ -95,14 +96,14 @@ func (o *Oracle) access(t int, write bool, obj *interp.Object, f string) {
 	}
 }
 
-func (o *Oracle) accessIdx(t int, write bool, a *interp.Array, i int) {
+func (o *Oracle) accessIdx(t int, write bool, a *interp.Array, i int, pos bfj.Pos) {
 	es := o.elems[a]
 	if es == nil {
 		es = make([]shadow.State, a.Len())
 		o.elems[a] = es
 		o.arrIDs[a] = a.ID
 	}
-	if r := es[i].Apply(write, t, o.clk.now(t)); r != nil {
+	if r := es[i].ApplyAt(write, t, o.clk.now(t), pos); r != nil {
 		key := fmt.Sprintf("array#%d[%d]", a.ID, i)
 		if !o.racyElems[key] {
 			o.racyElems[key] = true
@@ -112,16 +113,24 @@ func (o *Oracle) accessIdx(t int, write bool, a *interp.Array, i int) {
 }
 
 // ReadField implements interp.Hook.
-func (o *Oracle) ReadField(t int, obj *interp.Object, f string) { o.access(t, false, obj, f) }
+func (o *Oracle) ReadField(t int, obj *interp.Object, f string, pos bfj.Pos) {
+	o.access(t, false, obj, f, pos)
+}
 
 // WriteField implements interp.Hook.
-func (o *Oracle) WriteField(t int, obj *interp.Object, f string) { o.access(t, true, obj, f) }
+func (o *Oracle) WriteField(t int, obj *interp.Object, f string, pos bfj.Pos) {
+	o.access(t, true, obj, f, pos)
+}
 
 // ReadIndex implements interp.Hook.
-func (o *Oracle) ReadIndex(t int, a *interp.Array, i int) { o.accessIdx(t, false, a, i) }
+func (o *Oracle) ReadIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
+	o.accessIdx(t, false, a, i, pos)
+}
 
 // WriteIndex implements interp.Hook.
-func (o *Oracle) WriteIndex(t int, a *interp.Array, i int) { o.accessIdx(t, true, a, i) }
+func (o *Oracle) WriteIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
+	o.accessIdx(t, true, a, i, pos)
+}
 
 // HasRaces reports whether any race occurred in the observed trace.
 func (o *Oracle) HasRaces() bool { return len(o.racyPairs) > 0 }
@@ -208,44 +217,44 @@ func (m MultiHook) VolWrite(t int, o *interp.Object, f string) {
 }
 
 // ReadField implements interp.Hook.
-func (m MultiHook) ReadField(t int, o *interp.Object, f string) {
+func (m MultiHook) ReadField(t int, o *interp.Object, f string, pos bfj.Pos) {
 	for _, h := range m {
-		h.ReadField(t, o, f)
+		h.ReadField(t, o, f, pos)
 	}
 }
 
 // WriteField implements interp.Hook.
-func (m MultiHook) WriteField(t int, o *interp.Object, f string) {
+func (m MultiHook) WriteField(t int, o *interp.Object, f string, pos bfj.Pos) {
 	for _, h := range m {
-		h.WriteField(t, o, f)
+		h.WriteField(t, o, f, pos)
 	}
 }
 
 // ReadIndex implements interp.Hook.
-func (m MultiHook) ReadIndex(t int, a *interp.Array, i int) {
+func (m MultiHook) ReadIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
 	for _, h := range m {
-		h.ReadIndex(t, a, i)
+		h.ReadIndex(t, a, i, pos)
 	}
 }
 
 // WriteIndex implements interp.Hook.
-func (m MultiHook) WriteIndex(t int, a *interp.Array, i int) {
+func (m MultiHook) WriteIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
 	for _, h := range m {
-		h.WriteIndex(t, a, i)
+		h.WriteIndex(t, a, i, pos)
 	}
 }
 
 // CheckField implements interp.Hook.
-func (m MultiHook) CheckField(t int, w bool, o *interp.Object, fs []string) {
+func (m MultiHook) CheckField(t int, w bool, o *interp.Object, fs []string, poss []bfj.Pos) {
 	for _, h := range m {
-		h.CheckField(t, w, o, fs)
+		h.CheckField(t, w, o, fs, poss)
 	}
 }
 
 // CheckRange implements interp.Hook.
-func (m MultiHook) CheckRange(t int, w bool, a *interp.Array, lo, hi, step int) {
+func (m MultiHook) CheckRange(t int, w bool, a *interp.Array, lo, hi, step int, poss []bfj.Pos) {
 	for _, h := range m {
-		h.CheckRange(t, w, a, lo, hi, step)
+		h.CheckRange(t, w, a, lo, hi, step, poss)
 	}
 }
 

@@ -7,10 +7,17 @@
 // representations under irregular access patterns.
 package footprint
 
-// Entry is one pending strided-range check.
+import "bigfoot/internal/bfj"
+
+// Entry is one pending strided-range check.  Pos is a representative
+// source position: when range merging folds several checks into one
+// entry, the first contributing check's position is kept (an
+// approximation — the merged entry stands for many access sites, and
+// the footprint deliberately does not retain per-element history).
 type Entry struct {
 	Lo, Hi, Step int
 	Write        bool
+	Pos          bfj.Pos
 }
 
 // Footprint accumulates pending checks for the arrays a thread has
@@ -35,8 +42,9 @@ func New() *Footprint {
 
 // Add records a pending check of [lo,hi):step on the array with the
 // given id.  Adjacent/duplicate ranges are merged opportunistically so
-// per-element footprinting (the SlimState mode) stays compact.
-func (f *Footprint) Add(arrayID int, lo, hi, step int, write bool) {
+// per-element footprinting (the SlimState mode) stays compact; merges
+// keep the existing entry's position (see Entry.Pos).
+func (f *Footprint) Add(arrayID int, lo, hi, step int, write bool, pos bfj.Pos) {
 	f.AppendOps++
 	var es []Entry
 	if f.lastEs != nil && f.lastID == arrayID {
@@ -58,7 +66,11 @@ func (f *Footprint) Add(arrayID int, lo, hi, step int, write bool) {
 			}
 		}
 		// Extend a strided run: the new singleton continues the stride.
-		if last.Write == write && hi == lo+1 && last.Step > 1 && lo == last.Hi-1+last.Step {
+		// Only valid when last.Hi-1 is itself on the stride — for a range
+		// like [0,6):2 (elements 0,2,4) the next element is 6, not
+		// 5+step, and extending by Hi would claim indices never added.
+		if last.Write == write && hi == lo+1 && last.Step > 1 &&
+			(last.Hi-1-last.Lo)%last.Step == 0 && lo == last.Hi-1+last.Step {
 			last.Hi = lo + 1
 			return
 		}
@@ -72,7 +84,7 @@ func (f *Footprint) Add(arrayID int, lo, hi, step int, write bool) {
 	if len(es) == 0 {
 		f.order = append(f.order, arrayID)
 	}
-	es = append(es, Entry{Lo: lo, Hi: hi, Step: step, Write: write})
+	es = append(es, Entry{Lo: lo, Hi: hi, Step: step, Write: write, Pos: pos})
 	f.pending[arrayID] = es
 	f.lastID, f.lastEs = arrayID, es
 }

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"bigfoot/internal/bfj"
 )
 
 func collect(f *Footprint) map[int][]Entry {
@@ -15,7 +17,7 @@ func collect(f *Footprint) map[int][]Entry {
 func TestSequentialRunMerges(t *testing.T) {
 	f := New()
 	for i := 0; i < 100; i++ {
-		f.Add(1, i, i+1, 1, true)
+		f.Add(1, i, i+1, 1, true, bfj.Pos{})
 	}
 	got := collect(f)
 	if len(got[1]) != 1 {
@@ -30,7 +32,7 @@ func TestSequentialRunMerges(t *testing.T) {
 func TestStridedRunMerges(t *testing.T) {
 	f := New()
 	for i := 0; i < 64; i += 2 {
-		f.Add(3, i, i+1, 1, false)
+		f.Add(3, i, i+1, 1, false, bfj.Pos{})
 	}
 	got := collect(f)
 	if len(got[3]) != 1 {
@@ -44,8 +46,8 @@ func TestStridedRunMerges(t *testing.T) {
 
 func TestKindsDoNotMerge(t *testing.T) {
 	f := New()
-	f.Add(1, 0, 1, 1, true)
-	f.Add(1, 1, 2, 1, false) // read after write: different kind
+	f.Add(1, 0, 1, 1, true, bfj.Pos{})
+	f.Add(1, 1, 2, 1, false, bfj.Pos{}) // read after write: different kind
 	got := collect(f)
 	if len(got[1]) != 2 {
 		t.Errorf("read/write runs must stay separate: %v", got[1])
@@ -54,8 +56,8 @@ func TestKindsDoNotMerge(t *testing.T) {
 
 func TestContainedRangeAbsorbed(t *testing.T) {
 	f := New()
-	f.Add(1, 0, 50, 1, true)
-	f.Add(1, 10, 20, 1, true)
+	f.Add(1, 0, 50, 1, true, bfj.Pos{})
+	f.Add(1, 10, 20, 1, true, bfj.Pos{})
 	got := collect(f)
 	if len(got[1]) != 1 {
 		t.Errorf("contained range should be absorbed: %v", got[1])
@@ -64,9 +66,9 @@ func TestContainedRangeAbsorbed(t *testing.T) {
 
 func TestDrainClearsAndPreservesOrder(t *testing.T) {
 	f := New()
-	f.Add(5, 0, 1, 1, true)
-	f.Add(2, 0, 1, 1, true)
-	f.Add(5, 7, 8, 1, true)
+	f.Add(5, 0, 1, 1, true, bfj.Pos{})
+	f.Add(2, 0, 1, 1, true, bfj.Pos{})
+	f.Add(5, 7, 8, 1, true, bfj.Pos{})
 	var order []int
 	f.Drain(func(id int, e Entry) { order = append(order, id) })
 	// {0} and {7} on array 5 merge into one exact stride-7 entry, so
@@ -78,7 +80,7 @@ func TestDrainClearsAndPreservesOrder(t *testing.T) {
 		t.Error("drain should clear pending state")
 	}
 	// Reuse after drain.
-	f.Add(9, 1, 2, 1, false)
+	f.Add(9, 1, 2, 1, false, bfj.Pos{})
 	if got := collect(f); len(got[9]) != 1 {
 		t.Error("footprint unusable after drain")
 	}
@@ -86,8 +88,8 @@ func TestDrainClearsAndPreservesOrder(t *testing.T) {
 
 func TestArraysListing(t *testing.T) {
 	f := New()
-	f.Add(4, 0, 1, 1, true)
-	f.Add(8, 0, 1, 1, true)
+	f.Add(4, 0, 1, 1, true, bfj.Pos{})
+	f.Add(8, 0, 1, 1, true, bfj.Pos{})
 	ids := f.Arrays()
 	if len(ids) != 2 || ids[0] != 4 || ids[1] != 8 {
 		t.Errorf("arrays: %v", ids)
@@ -110,7 +112,7 @@ func TestMergePreservesCoverage(t *testing.T) {
 			hi := lo + 1 + rng.Intn(n-lo)
 			step := 1 + rng.Intn(3)
 			w := rng.Intn(2) == 0
-			f.Add(1, lo, hi, step, w)
+			f.Add(1, lo, hi, step, w, bfj.Pos{})
 			for i := lo; i < hi; i += step {
 				if w {
 					wantW[i] = true

@@ -69,6 +69,21 @@ const (
 	CostSyncOp = 40
 )
 
+// RaceReport is one provenance-enriched race in the versioned report
+// (schema v2): both access sites with thread, access kind, and source
+// position ("line:col", empty when the constituent access carried no
+// position).  Race sets are deterministic for a given RunInfo, so they
+// participate in Signature-free diffs but not in the Signature itself.
+type RaceReport struct {
+	Desc      string `json:"desc"`
+	PrevTID   int    `json:"prev_tid"`
+	CurTID    int    `json:"cur_tid"`
+	PrevPos   string `json:"prev_pos,omitempty"`
+	CurPos    string `json:"cur_pos,omitempty"`
+	PrevWrite bool   `json:"prev_write"`
+	CurWrite  bool   `json:"cur_write"`
+}
+
 // DetectorResult holds one detector's measurements on one program.
 // The JSON field names are part of the versioned report schema (see
 // ReportVersion); renames are schema changes.
@@ -86,6 +101,7 @@ type DetectorResult struct {
 	SpaceOverX   float64        `json:"space_over_base"` // peak shadow words / base data words
 	Races        int            `json:"races"`
 	ArrayModes   map[string]int `json:"array_modes,omitempty"`
+	RaceReports  []RaceReport   `json:"race_reports,omitempty"` // schema v2
 }
 
 // modelOverhead computes the cost-model overhead of one detector run
@@ -224,18 +240,18 @@ type countingHook struct {
 	fields, arrays uint64
 }
 
-func (c *countingHook) CheckField(t int, w bool, o *interp.Object, fs []string) {
+func (c *countingHook) CheckField(t int, w bool, o *interp.Object, fs []string, poss []bfj.Pos) {
 	if t != 0 {
 		c.fields++
 	}
-	c.Hook.CheckField(t, w, o, fs)
+	c.Hook.CheckField(t, w, o, fs, poss)
 }
 
-func (c *countingHook) CheckRange(t int, w bool, a *interp.Array, lo, hi, step int) {
+func (c *countingHook) CheckRange(t int, w bool, a *interp.Array, lo, hi, step int, poss []bfj.Pos) {
 	if t != 0 {
 		c.arrays++
 	}
-	c.Hook.CheckRange(t, w, a, lo, hi, step)
+	c.Hook.CheckRange(t, w, a, lo, hi, step, poss)
 }
 
 // buildVariants instruments and compiles a program for all five
@@ -400,6 +416,7 @@ func (st *programState) finalize() {
 			SpaceOverX:   ratio(det.Stats.PeakWords, res.BaseWords),
 			Races:        det.RaceCount(),
 			ArrayModes:   det.ArrayModes(),
+			RaceReports:  raceReports(det.Races()),
 		}
 		res.Detectors[v.name] = dr
 		switch v.name {
@@ -409,6 +426,33 @@ func (st *programState) finalize() {
 			res.BFFieldChecks, res.BFArrayChecks = first.fields, first.arrays
 		}
 	}
+}
+
+// raceReports converts the detector's race records to the report form.
+// Race discovery order is deterministic (serialized event stream), so
+// the slice is byte-stable across runs and -parallel widths.
+func raceReports(races []detector.Race) []RaceReport {
+	if len(races) == 0 {
+		return nil
+	}
+	out := make([]RaceReport, len(races))
+	for i, rc := range races {
+		rr := RaceReport{
+			Desc:      rc.Desc,
+			PrevTID:   rc.PrevTID,
+			CurTID:    rc.CurTID,
+			PrevWrite: rc.PrevWrite,
+			CurWrite:  rc.CurWrite,
+		}
+		if rc.PrevPos.IsValid() {
+			rr.PrevPos = rc.PrevPos.String()
+		}
+		if rc.CurPos.IsValid() {
+			rr.CurPos = rc.CurPos.String()
+		}
+		out[i] = rr
+	}
+	return out
 }
 
 func minDur(trials []runOutcome) time.Duration {

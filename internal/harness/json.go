@@ -14,8 +14,21 @@ import (
 // ReportVersion identifies the JSON report schema.  It is bumped on any
 // change to the serialized field set or field names, so committed
 // BENCH_*.json trajectories stay comparable: Diff and ReadJSON reject a
-// report written by a different schema rather than misreading it.
-const ReportVersion = 1
+// report written by an unknown schema rather than misreading it.
+//
+// Version history:
+//
+//	1: initial schema.
+//	2: adds DetectorResult.RaceReports (race provenance: both access
+//	   sites with positions).  Purely additive, so v1 reports are still
+//	   readable (see minReadVersion); v2 readers see no race reports in
+//	   a v1 file.
+const ReportVersion = 2
+
+// minReadVersion is the oldest schema ReadJSON still accepts.  Every
+// version in [minReadVersion, ReportVersion] is a subset of the current
+// field set, so decoding with DisallowUnknownFields remains sound.
+const minReadVersion = 1
 
 // RunInfo records the configuration a report was produced under, so two
 // reports can be checked for comparability before diffing.
@@ -112,8 +125,8 @@ func ReadJSON(r io.Reader) (*Report, error) {
 	if err := dec.Decode(&rep); err != nil {
 		return nil, fmt.Errorf("report: %w", err)
 	}
-	if rep.Version != ReportVersion {
-		return nil, fmt.Errorf("report: schema version %d, this build reads %d", rep.Version, ReportVersion)
+	if rep.Version < minReadVersion || rep.Version > ReportVersion {
+		return nil, fmt.Errorf("report: schema version %d, this build reads %d..%d", rep.Version, minReadVersion, ReportVersion)
 	}
 	for i, p := range rep.Programs {
 		if p == nil || p.Name == "" {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -107,7 +108,8 @@ func TestReadJSONRejectsBadReports(t *testing.T) {
 		in   string
 		frag string
 	}{
-		{"version skew", strings.Replace(string(good), `"version":1`, `"version":99`, 1), "schema version"},
+		{"version skew", strings.Replace(string(good), fmt.Sprintf(`"version":%d`, ReportVersion), `"version":99`, 1), "schema version"},
+		{"pre-history version", strings.Replace(string(good), fmt.Sprintf(`"version":%d`, ReportVersion), fmt.Sprintf(`"version":%d`, minReadVersion-1), 1), "schema version"},
 		{"truncated", string(good[:len(good)/2]), "report"},
 		{"unknown field", `{"version":1,"programs":[],"bogus":3}`, "bogus"},
 		{"nameless program", `{"version":1,"run":{"scale_n":1,"scale_t":2,"seed":7,"trials":2,"parallel":1,"max_steps":0},"programs":[{"suite":"x"}]}`, "no name"},
@@ -116,6 +118,37 @@ func TestReadJSONRejectsBadReports(t *testing.T) {
 		if _, err := ReadJSON(strings.NewReader(c.in)); err == nil || !strings.Contains(err.Error(), c.frag) {
 			t.Errorf("%s: error = %v, want mention of %q", c.name, err, c.frag)
 		}
+	}
+}
+
+// TestReadJSONAcceptsV1Reports: the v2 schema is purely additive
+// (race_reports), so a v1 file — the committed BENCH_*.json trajectory
+// before the bump — still reads, renders, and self-diffs cleanly.
+func TestReadJSONAcceptsV1Reports(t *testing.T) {
+	rep := reportAt(t, 1)
+	// Rewrite as a v1 report: drop the v2-only field and stamp version 1.
+	for _, p := range rep.Programs {
+		for _, d := range p.Detectors {
+			d.RaceReports = nil
+		}
+	}
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := strings.Replace(string(buf), fmt.Sprintf(`"version":%d`, ReportVersion), `"version":1`, 1)
+	got, err := ReadJSON(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 report rejected: %v", err)
+	}
+	if got.Version != 1 {
+		t.Fatalf("version = %d, want 1", got.Version)
+	}
+	if want := renderAll(rep); renderAll(got) != want {
+		t.Error("v1 report renders differently from its v2 source")
+	}
+	if regs := Diff(rep, got, 0); len(regs) != 0 {
+		t.Errorf("v1/v2 self-diff: %v", regs)
 	}
 }
 

@@ -140,8 +140,12 @@ func keyVarsOf(y expr.Var, z expr.Expr) []expr.Var {
 	return out
 }
 
-func (in *inserter) emit(out *bfj.Block, kind bfj.AccessKind, path expr.Path) {
-	out.Stmts = append(out.Stmts, &bfj.Check{Items: []bfj.CheckItem{{Kind: kind, Path: path}}})
+func (in *inserter) emit(out *bfj.Block, kind bfj.AccessKind, path expr.Path, pos bfj.Pos) {
+	var poss []bfj.Pos
+	if pos.IsValid() {
+		poss = []bfj.Pos{pos}
+	}
+	out.Stmts = append(out.Stmts, &bfj.Check{Items: []bfj.CheckItem{{Kind: kind, Path: path, Positions: poss}}})
 	in.stats.ChecksInserted++
 }
 
@@ -166,13 +170,13 @@ func (in *inserter) block(b *bfj.Block, s *span) *bfj.Block {
 }
 
 func (in *inserter) access(out *bfj.Block, s *span, keyVars map[string][]expr.Var,
-	kind bfj.AccessKind, path expr.Path, readKey, writeKey string, vars []expr.Var) {
+	kind bfj.AccessKind, path expr.Path, readKey, writeKey string, vars []expr.Var, pos bfj.Pos) {
 	write := kind == bfj.Write
 	if in.covered(s, readKey, writeKey, write) {
 		in.stats.ChecksSuppressed++
 		return
 	}
-	in.emit(out, kind, path)
+	in.emit(out, kind, path, pos)
 	if in.redcard && s != nil {
 		key := readKey
 		if write {
@@ -200,7 +204,7 @@ func (in *inserter) stmt(st bfj.Stmt, out *bfj.Block, s *span, keyVars map[strin
 			return
 		}
 		in.access(out, s, keyVars, bfj.Read, expr.NewFieldPath(x.Y, x.F),
-			fieldKey(x.Y, x.F, false), fieldKey(x.Y, x.F, true), []expr.Var{x.Y})
+			fieldKey(x.Y, x.F, false), fieldKey(x.Y, x.F, true), []expr.Var{x.Y}, x.Pos)
 		emitSelf()
 		kill(x.X)
 	case *bfj.FieldWrite:
@@ -212,18 +216,18 @@ func (in *inserter) stmt(st bfj.Stmt, out *bfj.Block, s *span, keyVars map[strin
 			return
 		}
 		in.access(out, s, keyVars, bfj.Write, expr.NewFieldPath(x.Y, x.F),
-			fieldKey(x.Y, x.F, false), fieldKey(x.Y, x.F, true), []expr.Var{x.Y})
+			fieldKey(x.Y, x.F, false), fieldKey(x.Y, x.F, true), []expr.Var{x.Y}, x.Pos)
 		emitSelf()
 	case *bfj.ArrayRead:
 		in.access(out, s, keyVars, bfj.Read,
 			expr.ArrayPath{Base: x.Y, Range: expr.Singleton(x.Z)},
-			arrayKey(x.Y, x.Z, false), arrayKey(x.Y, x.Z, true), keyVarsOf(x.Y, x.Z))
+			arrayKey(x.Y, x.Z, false), arrayKey(x.Y, x.Z, true), keyVarsOf(x.Y, x.Z), x.Pos)
 		emitSelf()
 		kill(x.X)
 	case *bfj.ArrayWrite:
 		in.access(out, s, keyVars, bfj.Write,
 			expr.ArrayPath{Base: x.Y, Range: expr.Singleton(x.Z)},
-			arrayKey(x.Y, x.Z, false), arrayKey(x.Y, x.Z, true), keyVarsOf(x.Y, x.Z))
+			arrayKey(x.Y, x.Z, false), arrayKey(x.Y, x.Z, true), keyVarsOf(x.Y, x.Z), x.Pos)
 		emitSelf()
 	case *bfj.Release, *bfj.Fork:
 		if in.redcard && s != nil {

@@ -218,6 +218,7 @@ func (c *compiler) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 		field := x.F
 		vol := c.volatile[x.F]
 		prog := c.prog
+		pos := x.Pos
 		return func(t *Thread) {
 			in := t.in
 			in.step(t)
@@ -227,7 +228,7 @@ func (c *compiler) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 				in.hook.VolRead(t.ID, o, field)
 			} else {
 				in.countAccess(t, false)
-				in.hook.ReadField(t.ID, o, field)
+				in.hook.ReadField(t.ID, o, field, pos)
 			}
 			t.slotSet(dst, o.Fields[field])
 		}
@@ -237,6 +238,7 @@ func (c *compiler) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 		vol := c.volatile[x.F]
 		prog := c.prog
 		e := c.compileExpr(x.E, sc)
+		pos := x.Pos
 		return func(t *Thread) {
 			in := t.in
 			in.step(t)
@@ -247,7 +249,7 @@ func (c *compiler) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 				in.hook.VolWrite(t.ID, o, field)
 			} else {
 				in.countAccess(t, true)
-				in.hook.WriteField(t.ID, o, field)
+				in.hook.WriteField(t.ID, o, field, pos)
 			}
 			o.Fields[field] = v
 		}
@@ -256,6 +258,7 @@ func (c *compiler) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 		arr := sc.slot(x.Y)
 		idx := c.compileExpr(x.Z, sc)
 		idxE := x.Z
+		pos := x.Pos
 		return func(t *Thread) {
 			in := t.in
 			in.step(t)
@@ -265,7 +268,7 @@ func (c *compiler) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 				fail("array read out of bounds: index %d, length %d", i, len(a.Elems))
 			}
 			in.countAccess(t, false)
-			in.hook.ReadIndex(t.ID, a, int(i))
+			in.hook.ReadIndex(t.ID, a, int(i), pos)
 			t.slotSet(dst, a.Elems[i])
 		}
 	case *bfj.ArrayWrite:
@@ -273,6 +276,7 @@ func (c *compiler) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 		idx := c.compileExpr(x.Z, sc)
 		idxE := x.Z
 		e := c.compileExpr(x.E, sc)
+		pos := x.Pos
 		return func(t *Thread) {
 			in := t.in
 			in.step(t)
@@ -283,7 +287,7 @@ func (c *compiler) compileStmt(s bfj.Stmt, sc *scope) cstmt {
 				fail("array write out of bounds: index %d, length %d", i, len(a.Elems))
 			}
 			in.countAccess(t, true)
-			in.hook.WriteIndex(t.ID, a, int(i))
+			in.hook.WriteIndex(t.ID, a, int(i), pos)
 			a.Elems[i] = v
 		}
 	case *bfj.Acquire:
@@ -502,10 +506,11 @@ func (c *compiler) compileCheck(x *bfj.Check, sc *scope) cstmt {
 		hi     cexpr
 		step   cexpr
 		path   expr.Path
+		poss   []bfj.Pos
 	}
 	items := make([]citem, 0, len(x.Items))
 	for _, it := range x.Items {
-		ci := citem{write: it.Kind == bfj.Write, path: it.Path}
+		ci := citem{write: it.Kind == bfj.Write, path: it.Path, poss: it.Positions}
 		switch p := it.Path.(type) {
 		case expr.FieldPath:
 			ci.field = true
@@ -527,7 +532,7 @@ func (c *compiler) compileCheck(x *bfj.Check, sc *scope) cstmt {
 			if ci.field {
 				o := getObj(t, ci.base, "check designator")
 				in.countCheck(t)
-				in.hook.CheckField(t.ID, ci.write, o, ci.fields)
+				in.hook.CheckField(t.ID, ci.write, o, ci.fields, ci.poss)
 				continue
 			}
 			a := getArr(t, ci.base, "check designator")
@@ -547,7 +552,7 @@ func (c *compiler) compileCheck(x *bfj.Check, sc *scope) cstmt {
 				continue
 			}
 			in.countCheck(t)
-			in.hook.CheckRange(t.ID, ci.write, a, int(lo), int(hi), int(step))
+			in.hook.CheckRange(t.ID, ci.write, a, int(lo), int(hi), int(step), ci.poss)
 		}
 	}
 }

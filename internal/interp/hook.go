@@ -1,5 +1,7 @@
 package interp
 
+import "bigfoot/internal/bfj"
+
 // Hook receives every analysis-relevant event of an execution.  All
 // callbacks run on the scheduler token, so implementations need no
 // internal locking and observe a globally serialized event order.
@@ -9,6 +11,11 @@ package interp
 // instrumented program executes a check(C) statement.  Per-access
 // detectors (the oracle) consume the former; check-driven detectors
 // (FastTrack through BigFoot) consume the latter.
+//
+// Access events carry the source position of the access statement and
+// check events the position set their items cover (zero/nil for
+// programmatically built ASTs) so detectors and trace recorders can
+// attribute events to source lines.
 type Hook interface {
 	// Fork reports that parent started child (a happens-before edge
 	// parent→child).  The static thread blocks are forked by the setup
@@ -25,15 +32,15 @@ type Hook interface {
 	VolRead(t int, o *Object, field string)
 	VolWrite(t int, o *Object, field string)
 
-	ReadField(t int, o *Object, field string)
-	WriteField(t int, o *Object, field string)
-	ReadIndex(t int, a *Array, i int)
-	WriteIndex(t int, a *Array, i int)
+	ReadField(t int, o *Object, field string, pos bfj.Pos)
+	WriteField(t int, o *Object, field string, pos bfj.Pos)
+	ReadIndex(t int, a *Array, i int, pos bfj.Pos)
+	WriteIndex(t int, a *Array, i int, pos bfj.Pos)
 
 	// CheckField reports an executed (possibly coalesced) field check.
-	CheckField(t int, write bool, o *Object, fields []string)
+	CheckField(t int, write bool, o *Object, fields []string, poss []bfj.Pos)
 	// CheckRange reports an executed array range check [lo,hi):step.
-	CheckRange(t int, write bool, a *Array, lo, hi, step int)
+	CheckRange(t int, write bool, a *Array, lo, hi, step int, poss []bfj.Pos)
 
 	// Finish fires once after all threads have completed.
 	Finish()
@@ -65,22 +72,22 @@ func (NopHook) VolRead(t int, o *Object, field string) {}
 func (NopHook) VolWrite(t int, o *Object, field string) {}
 
 // ReadField implements Hook.
-func (NopHook) ReadField(t int, o *Object, field string) {}
+func (NopHook) ReadField(t int, o *Object, field string, pos bfj.Pos) {}
 
 // WriteField implements Hook.
-func (NopHook) WriteField(t int, o *Object, field string) {}
+func (NopHook) WriteField(t int, o *Object, field string, pos bfj.Pos) {}
 
 // ReadIndex implements Hook.
-func (NopHook) ReadIndex(t int, a *Array, i int) {}
+func (NopHook) ReadIndex(t int, a *Array, i int, pos bfj.Pos) {}
 
 // WriteIndex implements Hook.
-func (NopHook) WriteIndex(t int, a *Array, i int) {}
+func (NopHook) WriteIndex(t int, a *Array, i int, pos bfj.Pos) {}
 
 // CheckField implements Hook.
-func (NopHook) CheckField(t int, write bool, o *Object, fields []string) {}
+func (NopHook) CheckField(t int, write bool, o *Object, fields []string, poss []bfj.Pos) {}
 
 // CheckRange implements Hook.
-func (NopHook) CheckRange(t int, write bool, a *Array, lo, hi, step int) {}
+func (NopHook) CheckRange(t int, write bool, a *Array, lo, hi, step int, poss []bfj.Pos) {}
 
 // Finish implements Hook.
 func (NopHook) Finish() {}

@@ -471,8 +471,8 @@ type syncCounter struct {
 	vol, plain int
 }
 
-func (s *syncCounter) VolWrite(t int, o *Object, f string)   { s.vol++ }
-func (s *syncCounter) WriteField(t int, o *Object, f string) { s.plain++ }
+func (s *syncCounter) VolWrite(t int, o *Object, f string)                { s.vol++ }
+func (s *syncCounter) WriteField(t int, o *Object, f string, pos bfj.Pos) { s.plain++ }
 
 // TestThreadLimitEnforced: epochs pack thread ids into 8 bits
 // (vc.MaxThreads = 256), and before this guard a run with more threads

@@ -8,24 +8,39 @@ package shadow
 import (
 	"fmt"
 
+	"bigfoot/internal/bfj"
 	"bigfoot/internal/vc"
 )
 
 // Race describes a detected data race on one shadow location.
 type Race struct {
-	PrevTID int    // thread of the earlier conflicting access
-	CurTID  int    // thread of the later access
-	IsWrite bool   // later access is a write
-	PrevW   bool   // earlier access was a write
-	Desc    string // location description, filled by the detector
+	PrevTID int     // thread of the earlier conflicting access
+	CurTID  int     // thread of the later access
+	IsWrite bool    // later access is a write
+	PrevW   bool    // earlier access was a write
+	PrevPos bfj.Pos // source position of the earlier access (zero if unknown)
+	CurPos  bfj.Pos // source position of the later access (zero if unknown)
+	Desc    string  // location description, filled by the detector
 }
 
 // State is a FastTrack shadow location: last-write epoch W, and either a
 // last-read epoch R or (when reads are concurrent) a full read vector RV.
+//
+// For race provenance the state also remembers the source position of
+// the last write and of a representative last read.  Under read-shared
+// state (RV non-empty) rpos is the position of the most recent read of
+// any thread — an approximation, since FastTrack's O(1) epoch
+// representation deliberately forgets per-thread access history.  The
+// positions are metadata, excluded from Words(): they do not model
+// per-location space a real detector would have to allocate (RoadRunner
+// recovers positions from the instrumented bytecode, not shadow memory).
 type State struct {
 	W  vc.Epoch
 	R  vc.Epoch
 	RV vc.VC // non-empty iff read-shared
+
+	wpos bfj.Pos // position of the access that installed W
+	rpos bfj.Pos // position of the representative last read
 }
 
 // Ops counts the shadow-location operations performed, the primary
@@ -46,24 +61,35 @@ func (o *Ops) Add(p Ops) {
 
 func (s *State) shared() bool { return s.RV.Len() > 0 }
 
+// Shared reports whether the location is in read-shared state (reads by
+// concurrent threads tracked in a full vector rather than an epoch).
+func (s *State) Shared() bool { return s.shared() }
+
 // Read performs the FastTrack read check-and-update for thread t whose
 // current vector time is now.  It returns a non-nil race when the read
 // conflicts with a previous write.
-func (s *State) Read(t int, now vc.VC) *Race {
+func (s *State) Read(t int, now vc.VC) *Race { return s.ReadAt(t, now, bfj.Pos{}) }
+
+// ReadAt is Read with the source position of the reading access, recorded
+// for race provenance.
+func (s *State) ReadAt(t int, now vc.VC, pos bfj.Pos) *Race {
 	e := now.Epoch(t)
 	if !s.shared() && s.R == e {
-		return nil // same epoch
+		return nil // same epoch (position of the epoch's first read is kept)
 	}
 	var race *Race
 	if !s.W.LEQ(now) {
-		race = &Race{PrevTID: s.W.TID(), CurTID: t, IsWrite: false, PrevW: true}
+		race = &Race{PrevTID: s.W.TID(), CurTID: t, IsWrite: false, PrevW: true,
+			PrevPos: s.wpos, CurPos: pos}
 	}
 	if s.shared() {
 		s.RV.Set(t, e.Clock())
+		s.rpos = pos
 		return race
 	}
 	if s.R.IsZero() || s.R.LEQ(now) {
 		s.R = e // exclusive
+		s.rpos = pos
 		return race
 	}
 	// Concurrent reads: inflate to a read vector.
@@ -71,38 +97,53 @@ func (s *State) Read(t int, now vc.VC) *Race {
 	s.RV.Set(s.R.TID(), s.R.Clock())
 	s.RV.Set(t, e.Clock())
 	s.R = 0
+	s.rpos = pos
 	return race
 }
 
 // Write performs the FastTrack write check-and-update.
-func (s *State) Write(t int, now vc.VC) *Race {
+func (s *State) Write(t int, now vc.VC) *Race { return s.WriteAt(t, now, bfj.Pos{}) }
+
+// WriteAt is Write with the source position of the writing access,
+// recorded for race provenance.
+func (s *State) WriteAt(t int, now vc.VC, pos bfj.Pos) *Race {
 	e := now.Epoch(t)
 	if s.W == e {
 		return nil // same epoch
 	}
 	var race *Race
 	if !s.W.LEQ(now) {
-		race = &Race{PrevTID: s.W.TID(), CurTID: t, IsWrite: true, PrevW: true}
+		race = &Race{PrevTID: s.W.TID(), CurTID: t, IsWrite: true, PrevW: true,
+			PrevPos: s.wpos, CurPos: pos}
 	}
 	if s.shared() {
 		if u := s.RV.AnyGreater(now); u >= 0 && race == nil {
-			race = &Race{PrevTID: u, CurTID: t, IsWrite: true, PrevW: false}
+			race = &Race{PrevTID: u, CurTID: t, IsWrite: true, PrevW: false,
+				PrevPos: s.rpos, CurPos: pos}
 		}
 		s.RV = vc.VC{} // deflate: reads are now ordered or reported
 	} else if !s.R.IsZero() && !s.R.LEQ(now) && race == nil {
-		race = &Race{PrevTID: s.R.TID(), CurTID: t, IsWrite: true, PrevW: false}
+		race = &Race{PrevTID: s.R.TID(), CurTID: t, IsWrite: true, PrevW: false,
+			PrevPos: s.rpos, CurPos: pos}
 	}
 	s.W = e
 	s.R = 0
+	s.wpos = pos
+	s.rpos = bfj.Pos{}
 	return race
 }
 
 // Apply performs a read or write operation.
 func (s *State) Apply(write bool, t int, now vc.VC) *Race {
+	return s.ApplyAt(write, t, now, bfj.Pos{})
+}
+
+// ApplyAt is Apply with the access's source position for provenance.
+func (s *State) ApplyAt(write bool, t int, now vc.VC, pos bfj.Pos) *Race {
 	if write {
-		return s.Write(t, now)
+		return s.WriteAt(t, now, pos)
 	}
-	return s.Read(t, now)
+	return s.ReadAt(t, now, pos)
 }
 
 // Words reports the state's size in 64-bit words for the space census:
@@ -206,6 +247,13 @@ func (a *ArrayShadow) Words() int {
 // representation.  It returns any detected races and the number of
 // shadow-location operations performed.
 func (a *ArrayShadow) Commit(write bool, t int, now vc.VC, lo, hi, step int) ([]*Race, uint64) {
+	return a.CommitAt(write, t, now, lo, hi, step, bfj.Pos{})
+}
+
+// CommitAt is Commit with the source position of the committed access
+// (a representative position when the footprint entry merged several
+// accesses), recorded for race provenance.
+func (a *ArrayShadow) CommitAt(write bool, t int, now vc.VC, lo, hi, step int, pos bfj.Pos) ([]*Race, uint64) {
 	if lo < 0 {
 		lo = 0
 	}
@@ -218,7 +266,7 @@ func (a *ArrayShadow) Commit(write bool, t int, now vc.VC, lo, hi, step int) ([]
 	var races []*Race
 	var ops uint64
 	apply := func(s *State) {
-		if r := s.Apply(write, t, now); r != nil {
+		if r := s.ApplyAt(write, t, now, pos); r != nil {
 			races = append(races, r)
 		}
 		ops++

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export.  Each thread gets one lane (pid 1,
+// tid = thread id) named via a thread_name metadata event; every
+// recorded event becomes a thread-scoped instant event whose timestamp
+// is its global sequence number — the execution is a deterministic
+// serialized interleaving, so logical time (step index) is the honest
+// clock, and it keeps the output byte-stable across runs and -parallel
+// widths.  The JSON object format {"traceEvents": [...]} is accepted by
+// Perfetto (ui.perfetto.dev) and chrome://tracing.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the buffered events as Chrome trace_event JSON.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	events := r.Events()
+	out := make([]chromeEvent, 0, len(events)+8)
+	for _, t := range r.Threads() {
+		out = append(out, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   t,
+			Args:  map[string]any{"name": fmt.Sprintf("T%d", t)},
+		})
+	}
+	for _, e := range events {
+		name := e.Op
+		if e.Target != "" {
+			name = e.Op + " " + e.Target
+		}
+		args := map[string]any{"seq": e.Seq}
+		if e.Target != "" {
+			args["target"] = e.Target
+		}
+		if e.Pos != "" {
+			args["pos"] = e.Pos
+		}
+		if e.Op == "read" || e.Op == "write" || e.Op == "check-fields" || e.Op == "check-range" {
+			args["write"] = e.Write
+		}
+		out = append(out, chromeEvent{
+			Name:  name,
+			Phase: "i",
+			TS:    e.Seq,
+			PID:   1,
+			TID:   e.Thread,
+			Scope: "t",
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+		"otherData": map[string]any{
+			"dropped": r.Dropped(),
+			"clock":   "logical step index",
+		},
+	})
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/interp"
+)
+
+// Tee fans the hook event stream out to every non-nil hook in order.
+// With zero hooks it returns a NopHook; with one it returns that hook
+// directly (no wrapping overhead on the common untraced path); with
+// more it returns a combinator that forwards each event to all of them
+// in argument order.  Hooks run on the interpreter's serialized event
+// stream, so fan-out adds no synchronization.
+func Tee(hooks ...interp.Hook) interp.Hook {
+	live := make([]interp.Hook, 0, len(hooks))
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return interp.NopHook{}
+	case 1:
+		return live[0]
+	}
+	return tee(live)
+}
+
+type tee []interp.Hook
+
+func (ts tee) Fork(parent, child int) {
+	for _, h := range ts {
+		h.Fork(parent, child)
+	}
+}
+
+func (ts tee) ThreadEnd(t int) {
+	for _, h := range ts {
+		h.ThreadEnd(t)
+	}
+}
+
+func (ts tee) Join(parent, child int) {
+	for _, h := range ts {
+		h.Join(parent, child)
+	}
+}
+
+func (ts tee) Acquire(t int, lock *interp.Object) {
+	for _, h := range ts {
+		h.Acquire(t, lock)
+	}
+}
+
+func (ts tee) Release(t int, lock *interp.Object) {
+	for _, h := range ts {
+		h.Release(t, lock)
+	}
+}
+
+func (ts tee) VolRead(t int, o *interp.Object, field string) {
+	for _, h := range ts {
+		h.VolRead(t, o, field)
+	}
+}
+
+func (ts tee) VolWrite(t int, o *interp.Object, field string) {
+	for _, h := range ts {
+		h.VolWrite(t, o, field)
+	}
+}
+
+func (ts tee) ReadField(t int, o *interp.Object, field string, pos bfj.Pos) {
+	for _, h := range ts {
+		h.ReadField(t, o, field, pos)
+	}
+}
+
+func (ts tee) WriteField(t int, o *interp.Object, field string, pos bfj.Pos) {
+	for _, h := range ts {
+		h.WriteField(t, o, field, pos)
+	}
+}
+
+func (ts tee) ReadIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
+	for _, h := range ts {
+		h.ReadIndex(t, a, i, pos)
+	}
+}
+
+func (ts tee) WriteIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
+	for _, h := range ts {
+		h.WriteIndex(t, a, i, pos)
+	}
+}
+
+func (ts tee) CheckField(t int, write bool, o *interp.Object, fields []string, poss []bfj.Pos) {
+	for _, h := range ts {
+		h.CheckField(t, write, o, fields, poss)
+	}
+}
+
+func (ts tee) CheckRange(t int, write bool, a *interp.Array, lo, hi, step int, poss []bfj.Pos) {
+	for _, h := range ts {
+		h.CheckRange(t, write, a, lo, hi, step, poss)
+	}
+}
+
+func (ts tee) Finish() {
+	for _, h := range ts {
+		h.Finish()
+	}
+}
