@@ -244,7 +244,9 @@ func (c *Compiled) Run(cfg RunConfig) (*Report, error) {
 	})
 	var hook interp.Hook = d
 	if cfg.Trace != nil {
-		hook = trace.Tee(d, cfg.Trace)
+		// Recorder first: each check event must be recorded before the
+		// detector emits the observer events it derives from that check.
+		hook = trace.Tee(cfg.Trace, d)
 		d.SetObserver(cfg.Trace)
 	}
 	cnt, err := c.art.Run(hook, interp.Options{Seed: cfg.Seed, Out: cfg.Out, MaxSteps: cfg.MaxSteps})
