@@ -1,0 +1,112 @@
+// Long-running differential-fuzz campaigns: bfbench -fuzz generates
+// programs with bfgen, sweeps each across scheduler seeds under all
+// five detectors, checks the metamorphic oracles, and on any
+// disagreement shrinks the program to a minimal repro and writes it
+// next to the report as a ready-to-commit .bfj file.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"bigfoot/internal/bfgen"
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/detector"
+	"bigfoot/internal/difftest"
+	"bigfoot/internal/interp"
+)
+
+// fuzzShrinkMaxSteps bounds candidate executions during shrinking:
+// statement deletion routinely produces unbounded loops, which would
+// otherwise spin toward the interpreter's default step limit before
+// being rejected.
+const fuzzShrinkMaxSteps = 500_000
+
+// runFuzz executes a differential campaign of nProgs generated
+// programs, each swept over nSched scheduler seeds.  Returns 0 when
+// every (program, seed) pair agrees, 1 after writing a shrunk repro
+// for the first disagreement, 3 on repro I/O errors.
+func runFuzz(baseSeed int64, nProgs, nSched int, out string, quiet bool) int {
+	rng := rand.New(rand.NewSource(baseSeed))
+	seeds := make([]int64, nSched)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	for p := 0; p < nProgs; p++ {
+		g := bfgen.Generate(rng, bfgen.DefaultConfig())
+		dis, err := difftest.CheckGenerated(g, difftest.Options{Seeds: seeds})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: program %d failed to run: %v\n%s\n", p, err, g.Source)
+			return 1
+		}
+		if dis == nil {
+			var mdis *difftest.Disagreement
+			mdis, err = difftest.CheckMetamorphic(g, difftest.Options{Seeds: seeds})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bfbench: program %d metamorphic variant failed to run: %v\n%s\n", p, err, g.Source)
+				return 1
+			}
+			dis = mdis
+		}
+		if dis != nil {
+			return reportFuzzFailure(p, g, dis, out)
+		}
+		if !quiet && (p+1)%10 == 0 {
+			fmt.Fprintf(os.Stderr, "fuzz: %d/%d programs, %d (program, seed) pairs, no disagreements\n",
+				p+1, nProgs, (p+1)*nSched)
+		}
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "fuzz: campaign clean: %d programs x %d schedules x %d detectors\n",
+			nProgs, nSched, len(difftest.DetectorNames))
+	}
+	return 0
+}
+
+// reportFuzzFailure shrinks the failing program with respect to "the
+// same detector disagrees the same way", writes the minimal repro, and
+// prints everything needed to reproduce the failure by hand.
+func reportFuzzFailure(p int, g *bfgen.Program, dis *difftest.Disagreement, out string) int {
+	src := g.Source
+	var pred func(cand string) bool
+	if strings.HasPrefix(dis.Kind, "metamorphic-") {
+		// A metamorphic failure means the oracle saw a race in a variant
+		// that is race-free by construction; shrink with respect to that
+		// oracle race, not a detector disagreement.
+		if dis.Kind == "metamorphic-locked" {
+			src = g.Locked()
+		} else {
+			src = g.Serialized()
+		}
+		pred = func(cand string) bool {
+			prog, err := bfj.Parse(cand)
+			if err != nil {
+				return false
+			}
+			o := detector.NewOracle()
+			if _, err := interp.Run(prog, o, interp.Options{Seed: dis.Seed, MaxSteps: fuzzShrinkMaxSteps}); err != nil {
+				return false
+			}
+			return o.HasRaces()
+		}
+	} else {
+		pred = func(cand string) bool {
+			d, err := difftest.CheckSource(cand, difftest.Options{
+				Seeds: []int64{dis.Seed}, MaxSteps: fuzzShrinkMaxSteps,
+			})
+			return err == nil && d != nil && d.Detector == dis.Detector && d.Kind == dis.Kind
+		}
+	}
+	min := difftest.Shrink(src, pred)
+	fmt.Fprintf(os.Stderr, "bfbench: program %d: %s\ninterpreter seed: %d\nfull program:\n%s\nshrunk repro:\n%s\n",
+		p, dis, dis.Seed, src, min)
+	header := fmt.Sprintf("// expect: unknown (classify before committing)\n// found by: bfbench -fuzz, disagreement %s, interpreter seed %d\n", dis, dis.Seed)
+	if err := os.WriteFile(out, []byte(header+min), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bfbench: write %s: %v\n", out, err)
+		return 3
+	}
+	fmt.Fprintf(os.Stderr, "bfbench: shrunk repro written to %s (commit under testdata/regress/ after classifying)\n", out)
+	return 1
+}

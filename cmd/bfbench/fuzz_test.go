@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bigfoot/internal/bfgen"
+	"bigfoot/internal/difftest"
+)
+
+// TestRunFuzzClean: a small campaign over the healthy detectors finds
+// no disagreement, exits 0, and writes no repro file.
+func TestRunFuzzClean(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "repro.bfj")
+	if code := runFuzz(42, 5, 2, out, true); code != 0 {
+		t.Fatalf("clean campaign exited %d, want 0", code)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("repro file written on a clean campaign (stat err=%v)", err)
+	}
+}
+
+// TestReportFuzzFailureWritesRepro: a disagreement produces an exit
+// code of 1 and a .bfj repro file carrying the provenance header.
+func TestReportFuzzFailureWritesRepro(t *testing.T) {
+	g := bfgen.New(0)
+	dis := &difftest.Disagreement{Detector: "FT", Seed: 0, Kind: "trace", Detail: "synthetic"}
+	out := filepath.Join(t.TempDir(), "repro.bfj")
+	if code := reportFuzzFailure(0, g, dis, out); code != 1 {
+		t.Fatalf("failure report exited %d, want 1", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "// found by: bfbench -fuzz") {
+		t.Errorf("repro missing provenance header:\n%s", text)
+	}
+	if !strings.Contains(text, "thread") {
+		t.Errorf("repro missing program text:\n%s", text)
+	}
+}

@@ -9,6 +9,13 @@
 //	        [-parallel N] [-timeout D] [-explain-races]
 //	        [-json path] [-diff old.json] [-tolerance F] [-json-check path]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
+//	bfbench -fuzz [-fuzz-seeds N] [-fuzz-sched K] [-fuzz-out f] [-seed S] [-q]
+//
+// -fuzz runs a differential-fuzz campaign instead of the evaluation:
+// N generated programs (bfgen, seeded from -seed) each swept over K
+// scheduler seeds under all five detectors against the oracle, plus
+// the metamorphic race-freedom oracles.  The first disagreement is
+// shrunk to a minimal repro written to -fuzz-out, and the run exits 1.
 //
 // Without a selection flag, -all is assumed.  -parallel bounds the
 // evaluation worker pool (0 = GOMAXPROCS); results are identical at any
@@ -62,6 +69,10 @@ func run() int {
 		tolerance = flag.Float64("tolerance", harness.DefaultDiffTolerance, "relative slack for -diff regressions")
 		jsonCheck = flag.String("json-check", "", "validate an existing JSON report and exit (no run)")
 		explain   = flag.Bool("explain-races", false, "print per-detector race provenance (both access sites)")
+		fuzz      = flag.Bool("fuzz", false, "run a differential-fuzz campaign instead of the evaluation")
+		fuzzSeeds = flag.Int("fuzz-seeds", 100, "generated programs per -fuzz campaign")
+		fuzzSched = flag.Int("fuzz-sched", 3, "scheduler seeds swept per generated program")
+		fuzzOut   = flag.String("fuzz-out", "fuzz-repro.bfj", "write the shrunk repro of a -fuzz disagreement here")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -72,6 +83,14 @@ func run() int {
 	}
 	if !*fig2 && !*fig8 && !*tab1 && !*tab2 {
 		*all = true
+	}
+
+	if *fuzz {
+		if *fuzzSeeds < 1 || *fuzzSched < 1 {
+			fmt.Fprintln(os.Stderr, "bfbench: -fuzz-seeds and -fuzz-sched must be >= 1")
+			return 2
+		}
+		return runFuzz(*seed, *fuzzSeeds, *fuzzSched, *fuzzOut, *quiet)
 	}
 
 	if *jsonCheck != "" {

@@ -46,6 +46,12 @@ type Config struct {
 	PeriodicCommit int
 	// Proxies enables static field proxy compression; nil disables.
 	Proxies *proxy.Table
+	// TestDropFieldChecks is a fault-injection switch for the
+	// differential-testing suite: when set, the detector silently ignores
+	// every CheckField event, simulating a lost check.  The difftest
+	// shrinker test proves such a detector is caught by the oracle sweep
+	// and shrunk to a minimal repro.  Never set outside tests.
+	TestDropFieldChecks bool
 }
 
 // Race is a reported data race with two-sited provenance: the source
@@ -271,6 +277,9 @@ func (d *Detector) commit(t int) {
 // of the (sorted) position set is the representative access site for
 // provenance.
 func (d *Detector) CheckField(t int, write bool, o *interp.Object, fields []string, poss []bfj.Pos) {
+	if d.cfg.TestDropFieldChecks {
+		return
+	}
 	var keys []string
 	if d.cfg.Proxies != nil {
 		keys = d.cfg.Proxies.GroupsOf(fields)

@@ -1,128 +1,26 @@
 package detector
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"bigfoot/internal/analysis"
+	"bigfoot/internal/bfgen"
 	"bigfoot/internal/bfj"
 	"bigfoot/internal/instrument"
 	"bigfoot/internal/interp"
 	"bigfoot/internal/proxy"
 )
 
-// genProgram builds a random BFJ program from a small statement grammar:
-// field and array accesses (direct, loop-indexed, lock-protected) over a
-// shared heap.  Programs may or may not race; the fuzz test checks that
-// every detector agrees with the oracle about whether each observed
-// trace has a race (trace precision: no missed races, no false alarms).
-func genProgram(rng *rand.Rand) string {
-	var b strings.Builder
-	b.WriteString(`
-class Obj {
-  field f, g;
-  volatile field flag;
-  method bump(k) {
-    v = this.f;
-    this.f = v + k;
-  }
-  method fill(arr, lo, hi) {
-    for (m = lo; m < hi; m = m + 1) { arr[m] = m; }
-  }
-  method lockedBump(l) {
-    acquire l;
-    v = this.g;
-    this.g = v + 1;
-    release l;
-  }
-}
-setup {
-  o1 = new Obj;
-  o2 = new Obj;
-  a1 = newarray 16;
-  a2 = newarray 16;
-  lock = new Obj;
-}
-`)
-	nThreads := 2 + rng.Intn(2)
-	for t := 0; t < nThreads; t++ {
-		b.WriteString("thread {\n")
-		genBlock(rng, &b, 3+rng.Intn(4), 1)
-		b.WriteString("}\n")
-	}
-	return b.String()
-}
-
-func genBlock(rng *rand.Rand, b *strings.Builder, n, depth int) {
-	objs := []string{"o1", "o2"}
-	arrs := []string{"a1", "a2"}
-	fields := []string{"f", "g"}
-	for i := 0; i < n; i++ {
-		switch rng.Intn(12) {
-		case 0: // field read
-			fmt.Fprintf(b, "  x%d = %s.%s;\n", rng.Intn(4), objs[rng.Intn(2)], fields[rng.Intn(2)])
-		case 1: // field write
-			fmt.Fprintf(b, "  %s.%s = %d;\n", objs[rng.Intn(2)], fields[rng.Intn(2)], rng.Intn(100))
-		case 2: // array read at constant
-			fmt.Fprintf(b, "  y%d = %s[%d];\n", rng.Intn(4), arrs[rng.Intn(2)], rng.Intn(16))
-		case 3: // array write at constant
-			fmt.Fprintf(b, "  %s[%d] = %d;\n", arrs[rng.Intn(2)], rng.Intn(16), rng.Intn(100))
-		case 4: // loop over a range of one array
-			a := arrs[rng.Intn(2)]
-			lo := rng.Intn(8)
-			hi := lo + 1 + rng.Intn(16-lo)
-			v := fmt.Sprintf("i%d", depth)
-			if rng.Intn(2) == 0 {
-				fmt.Fprintf(b, "  for (%s = %d; %s < %d; %s = %s + 1) { %s[%s] = %s; }\n",
-					v, lo, v, hi, v, v, a, v, v)
-			} else {
-				fmt.Fprintf(b, "  for (%s = %d; %s < %d; %s = %s + 1) { t%d = %s[%s]; }\n",
-					v, lo, v, hi, v, v, depth, a, v)
-			}
-		case 5: // lock-protected read-modify-write
-			o := objs[rng.Intn(2)]
-			f := fields[rng.Intn(2)]
-			fmt.Fprintf(b, "  acquire lock;\n  r%d = %s.%s;\n  %s.%s = r%d + 1;\n  release lock;\n",
-				depth, o, f, o, f, depth)
-		case 6: // branch with accesses
-			if depth < 3 {
-				fmt.Fprintf(b, "  if (%d > %d) {\n", rng.Intn(10), rng.Intn(10))
-				genBlock(rng, b, 1+rng.Intn(2), depth+1)
-				b.WriteString("  } else {\n")
-				genBlock(rng, b, 1+rng.Intn(2), depth+1)
-				b.WriteString("  }\n")
-			}
-		case 7: // lock-protected array slot
-			a := arrs[rng.Intn(2)]
-			k := rng.Intn(16)
-			fmt.Fprintf(b, "  acquire lock;\n  %s[%d] = %d;\n  release lock;\n", a, k, rng.Intn(50))
-		case 8: // unlocked method call performing field accesses
-			fmt.Fprintf(b, "  %s.bump(%d);\n", objs[rng.Intn(2)], rng.Intn(5))
-		case 9: // locked method call
-			fmt.Fprintf(b, "  %s.lockedBump(lock);\n", objs[rng.Intn(2)])
-		case 10: // fork/join a range fill (HB-clean with respect to itself)
-			a := arrs[rng.Intn(2)]
-			lo := rng.Intn(8)
-			hi := lo + 1 + rng.Intn(16-lo)
-			fmt.Fprintf(b, "  h%d = fork %s.fill(%s, %d, %d);\n  join h%d;\n",
-				depth, objs[rng.Intn(2)], a, lo, hi, depth)
-		case 11: // volatile publication (write side or read side)
-			o := objs[rng.Intn(2)]
-			if rng.Intn(2) == 0 {
-				fmt.Fprintf(b, "  %s.g = %d;\n  %s.flag = 1;\n", o, rng.Intn(50), o)
-			} else {
-				fmt.Fprintf(b, "  fl%d = %s.flag;\n  if (fl%d > 0) { rd%d = %s.g; }\n",
-					depth, o, depth, depth, o)
-			}
-		}
-	}
-}
-
-// TestFuzzTracePrecision generates random programs and verifies, for
-// every detector and several schedules, that a race is reported exactly
-// when the oracle observes one.
+// TestFuzzTracePrecision draws random programs from the bfgen grammar
+// (fork/join, nested and strided loops, field groups, aliasing,
+// volatiles, lock nests, method calls) and verifies, for every detector
+// and several schedules, that a race is reported exactly when the
+// oracle observes one.  On any disagreement the failing program source
+// and the interpreter seed are logged, so the failure reproduces from
+// the test output alone; the full differential harness (cross-detector
+// invariants, metamorphic oracles, shrinking) lives in
+// internal/difftest.
 func TestFuzzTracePrecision(t *testing.T) {
 	nProgs := 40
 	if testing.Short() {
@@ -130,7 +28,8 @@ func TestFuzzTracePrecision(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(20260704))
 	for p := 0; p < nProgs; p++ {
-		src := genProgram(rng)
+		g := bfgen.Generate(rng, bfgen.DefaultConfig())
+		src := g.Source
 		base, err := bfj.Parse(src)
 		if err != nil {
 			t.Fatalf("generated program does not parse: %v\n%s", err, src)
@@ -160,9 +59,9 @@ func TestFuzzTracePrecision(t *testing.T) {
 				}
 				oHas, dHas := o.HasRaces(), d.RaceCount() > 0
 				if oHas != dHas {
-					t.Errorf("prog %d %s seed %d: oracle=%v detector=%v\noracle: %v\ndetector: %v\nprogram:\n%s\ninstrumented:\n%s",
-						p, v.name, seed, oHas, dHas, o.RacyDescs(), d.SortedRaceDescs(),
-						src, bfj.FormatProgram(v.prog))
+					t.Errorf("prog %d detector %s: oracle=%v detector=%v\noracle: %v\ndetector: %v\ninterpreter seed: %d\nprogram source:\n%s\ninstrumented:\n%s",
+						p, v.name, oHas, dHas, o.RacyDescs(), d.SortedRaceDescs(),
+						seed, src, bfj.FormatProgram(v.prog))
 					return
 				}
 				// Empirical address precision: every reported location
@@ -179,14 +78,14 @@ func TestFuzzTracePrecision(t *testing.T) {
 							}
 						}
 						if !hit {
-							t.Errorf("prog %d %s seed %d: reported array race %s has no racy element\n%s",
-								p, v.name, seed, r.Desc, src)
+							t.Errorf("prog %d detector %s: reported array race %s has no racy element\ninterpreter seed: %d\nprogram source:\n%s",
+								p, v.name, r.Desc, seed, src)
 							return
 						}
 					} else if cfgs[vi].Proxies == nil {
 						if !o.FieldRacy(r.ObjID, r.ClassTag, r.Field) {
-							t.Errorf("prog %d %s seed %d: reported field race %s not racy per oracle\n%s",
-								p, v.name, seed, r.Desc, src)
+							t.Errorf("prog %d detector %s: reported field race %s not racy per oracle\ninterpreter seed: %d\nprogram source:\n%s",
+								p, v.name, r.Desc, seed, src)
 							return
 						}
 					}

@@ -1,0 +1,149 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"bigfoot/internal/bfgen"
+	"bigfoot/internal/detector"
+)
+
+// logRepro logs everything needed to reproduce a disagreement from the
+// test output alone: the disagreement, the program source, and the
+// generator/interpreter seeds, plus a shrunk minimal repro.
+func logRepro(t *testing.T, src string, dis *Disagreement) {
+	t.Helper()
+	min := Shrink(src, func(cand string) bool {
+		d, err := CheckSource(cand, Options{Seeds: []int64{dis.Seed}, MaxSteps: 500_000})
+		return err == nil && d != nil && d.Detector == dis.Detector && d.Kind == dis.Kind
+	})
+	t.Errorf("disagreement: %s\ninterpreter seed: %d\nprogram:\n%s\nshrunk repro (commit under testdata/regress/):\n%s",
+		dis, dis.Seed, src, min)
+}
+
+// TestDeterministicSweep is the bounded differential sweep run in plain
+// `go test` and CI: ≥200 generated (program, seed) pairs, each checked
+// across all five detectors against the oracle, plus the metamorphic
+// oracles on every generated program.
+func TestDeterministicSweep(t *testing.T) {
+	nProgs, nSeeds := 40, 5
+	if testing.Short() {
+		nProgs, nSeeds = 8, 3
+	}
+	rng := rand.New(rand.NewSource(20260805))
+	pairs := 0
+	for p := 0; p < nProgs; p++ {
+		g := bfgen.Generate(rng, bfgen.DefaultConfig())
+		seeds := make([]int64, nSeeds)
+		for i := range seeds {
+			seeds[i] = int64(i)
+		}
+		dis, err := CheckGenerated(g, Options{Seeds: seeds})
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", p, err, g.Source)
+		}
+		if dis != nil {
+			logRepro(t, g.Source, dis)
+			return
+		}
+		pairs += nSeeds
+		mdis, err := CheckMetamorphic(g, Options{Seeds: []int64{0, 1}})
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", p, err, g.Source)
+		}
+		if mdis != nil {
+			t.Fatalf("program %d metamorphic failure: %s\nbase program:\n%s\nlocked:\n%s\nserialized:\n%s",
+				p, mdis, g.Source, g.Locked(), g.Serialized())
+		}
+	}
+	if !testing.Short() && pairs < 200 {
+		t.Fatalf("sweep covered %d (program, seed) pairs, want >= 200", pairs)
+	}
+	t.Logf("%d (program, seed) pairs across %d detectors, zero disagreements", pairs, len(DetectorNames))
+}
+
+// FuzzDifferential is the native fuzzing entry: each input picks a
+// generator seed and a scheduler seed; the body checks all five
+// detectors against the oracle plus the metamorphic oracles, and logs a
+// shrunk repro on any disagreement.
+func FuzzDifferential(f *testing.F) {
+	for gs := int64(0); gs < 8; gs++ {
+		f.Add(gs, gs%4)
+	}
+	f.Fuzz(func(t *testing.T, genSeed, schedSeed int64) {
+		g := bfgen.New(genSeed)
+		seeds := []int64{schedSeed, schedSeed + 1}
+		dis, err := CheckGenerated(g, Options{Seeds: seeds})
+		if err != nil {
+			t.Fatalf("generator seed %d: %v\n%s", genSeed, err, g.Source)
+		}
+		if dis != nil {
+			logRepro(t, g.Source, dis)
+			return
+		}
+		mdis, err := CheckMetamorphic(g, Options{Seeds: []int64{schedSeed}})
+		if err != nil {
+			t.Fatalf("generator seed %d: %v\n%s", genSeed, err, g.Source)
+		}
+		if mdis != nil {
+			t.Fatalf("generator seed %d metamorphic failure: %s\nbase program:\n%s", genSeed, mdis, g.Source)
+		}
+	})
+}
+
+// TestVariantsShareSyncStructure pins the harness assumption behind the
+// cross-detector counter invariants: instrumentation only adds checks,
+// so every variant of a schedule-insensitive program observes identical
+// access and sync counts (enforced inside CheckGenerated, exercised
+// here on a program from the insensitive grammar).
+func TestVariantsShareSyncStructure(t *testing.T) {
+	cfg := bfgen.DefaultConfig()
+	cfg.NoVolatiles = true
+	rng := rand.New(rand.NewSource(11))
+	for p := 0; p < 10; p++ {
+		g := bfgen.Generate(rng, cfg)
+		if g.ScheduleSensitive {
+			t.Fatalf("NoVolatiles program marked sensitive")
+		}
+		dis, err := CheckGenerated(g, Options{Seeds: []int64{0, 3}})
+		if err != nil {
+			t.Fatalf("program %d: %v\n%s", p, err, g.Source)
+		}
+		if dis != nil {
+			logRepro(t, g.Source, dis)
+			return
+		}
+	}
+}
+
+// TestFaultInjectionIsCaught: a detector that drops field checks must
+// disagree with the oracle on a program with a field race.
+func TestFaultInjectionIsCaught(t *testing.T) {
+	const racy = `
+class Cell { field v; }
+setup { c = new Cell; }
+thread { x = c.v; c.v = x + 1; }
+thread { y = c.v; c.v = y + 1; }
+`
+	fault := func(name string, cfg *detector.Config) {
+		if name == "FT" {
+			cfg.TestDropFieldChecks = true
+		}
+	}
+	found := false
+	for seed := int64(0); seed < 8 && !found; seed++ {
+		dis, err := CheckSource(racy, Options{Seeds: []int64{seed}, Fault: fault})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dis != nil {
+			if dis.Detector != "FT" || dis.Kind != "trace" {
+				t.Fatalf("unexpected disagreement: %s", dis)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no schedule exposed the dropped checks in 8 seeds")
+	}
+}

@@ -1,0 +1,80 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/detector"
+	"bigfoot/internal/interp"
+)
+
+// regressSeeds are the schedules every corpus entry is swept over.
+var regressSeeds = []int64{0, 1, 2, 3, 4, 5, 6, 7}
+
+// readExpect extracts the "// expect: racy|race-free" directive from
+// the first line of a corpus file.
+func readExpect(t *testing.T, src, path string) bool {
+	t.Helper()
+	line, _, _ := strings.Cut(src, "\n")
+	switch strings.TrimSpace(strings.TrimPrefix(line, "// expect:")) {
+	case "racy":
+		return true
+	case "race-free":
+		return false
+	}
+	t.Fatalf("%s: first line must be \"// expect: racy\" or \"// expect: race-free\", got %q", path, line)
+	return false
+}
+
+// TestRegressCorpus runs every committed repro under all five
+// detectors against the oracle: each file's racy/race-free
+// classification must match its expect directive on the swept
+// schedules, and no detector may disagree with the oracle on any of
+// them (trace and address precision).
+func TestRegressCorpus(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "regress", "*.bfj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("regress corpus has %d files, want at least 5", len(paths))
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+			wantRacy := readExpect(t, src, path)
+
+			prog, err := bfj.Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			sawRace := false
+			for _, seed := range regressSeeds {
+				o := detector.NewOracle()
+				if _, err := interp.Run(prog, o, interp.Options{Seed: seed}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if o.HasRaces() {
+					sawRace = true
+				} else if !wantRacy {
+					continue
+				}
+			}
+			if sawRace != wantRacy {
+				t.Errorf("oracle classification: racy=%v, expect directive says racy=%v", sawRace, wantRacy)
+			}
+			if dis, err := CheckSource(src, Options{Seeds: regressSeeds}); err != nil {
+				t.Fatal(err)
+			} else if dis != nil {
+				t.Errorf("detector/oracle disagreement: %s", dis)
+			}
+		})
+	}
+}

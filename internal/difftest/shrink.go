@@ -1,0 +1,199 @@
+// Failure shrinking: given a program whose differential check fails,
+// delete statements, unwrap compounds, and drop whole threads, methods,
+// and classes until no smaller program still fails.  The result is a
+// minimal repro ready to commit under testdata/regress/.
+package difftest
+
+import (
+	"bigfoot/internal/bfj"
+)
+
+// Shrink minimizes src with respect to pred, which reports whether a
+// candidate program still exhibits the failure.  pred must treat
+// malformed or crashing candidates as non-failing (shrinking routinely
+// produces programs that no longer parse or that hit runtime errors —
+// those candidates are simply rejected).  Shrink is greedy and
+// deterministic: it repeatedly applies the first size-reducing edit
+// whose result still fails, until a fixpoint.  If src itself does not
+// satisfy pred, it is returned unchanged.
+func Shrink(src string, pred func(src string) bool) string {
+	cur := src
+	if !pred(cur) {
+		return cur
+	}
+	// Normalize through the printer so candidate sizes (always printed)
+	// compare against the same formatting, not the caller's.
+	if prog, err := bfj.Parse(cur); err == nil {
+		if text := bfj.FormatProgram(prog); pred(text) {
+			cur = text
+		}
+	}
+	for {
+		prog, err := bfj.Parse(cur)
+		if err != nil {
+			return cur // unshrinkable text; keep the failing original
+		}
+		improved := false
+		for _, cand := range candidates(prog) {
+			text := bfj.FormatProgram(cand)
+			if len(text) >= len(cur) {
+				continue
+			}
+			if pred(text) {
+				cur = text
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// candidates enumerates all one-edit reductions of prog, smallest-scope
+// edits last so whole-thread and whole-class deletions are tried first
+// (they shed the most text per predicate evaluation).
+func candidates(prog *bfj.Program) []*bfj.Program {
+	var out []*bfj.Program
+	// Drop a whole thread block.
+	for i := range prog.Threads {
+		q := prog.Clone()
+		q.Threads = append(q.Threads[:i:i], q.Threads[i+1:]...)
+		out = append(out, q)
+	}
+	// Drop a whole class or a single method.
+	for ci, c := range prog.Classes {
+		q := prog.Clone()
+		q.Classes = append(q.Classes[:ci:ci], q.Classes[ci+1:]...)
+		out = append(out, q)
+		for mi := range c.Methods {
+			q := prog.Clone()
+			qc := q.Classes[ci]
+			qc.Methods = append(qc.Methods[:mi:mi], qc.Methods[mi+1:]...)
+			out = append(out, q)
+		}
+	}
+	// Statement-level edits in every block (setup, threads, method
+	// bodies, and blocks nested in ifs/loops).
+	for _, path := range blockPaths(prog) {
+		n := len(path.resolve(prog).Stmts)
+		for si := 0; si < n; si++ {
+			// Delete the statement.
+			q := prog.Clone()
+			b := path.resolve(q)
+			b.Stmts = append(b.Stmts[:si:si], b.Stmts[si+1:]...)
+			out = append(out, q)
+			// Unwrap compounds: replace an if by one arm, a loop by its
+			// body blocks (running the body exactly once).
+			switch s := path.resolve(prog).Stmts[si].(type) {
+			case *bfj.If:
+				for _, arm := range []*bfj.Block{s.Then, s.Else} {
+					q := prog.Clone()
+					b := path.resolve(q)
+					repl := append([]bfj.Stmt{}, b.Stmts[:si]...)
+					repl = append(repl, bfj.CloneBlock(arm).Stmts...)
+					repl = append(repl, b.Stmts[si+1:]...)
+					b.Stmts = repl
+					out = append(out, q)
+				}
+			case *bfj.Loop:
+				q := prog.Clone()
+				b := path.resolve(q)
+				repl := append([]bfj.Stmt{}, b.Stmts[:si]...)
+				repl = append(repl, bfj.CloneBlock(s.Pre).Stmts...)
+				repl = append(repl, bfj.CloneBlock(s.Post).Stmts...)
+				repl = append(repl, b.Stmts[si+1:]...)
+				b.Stmts = repl
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// blockPath addresses one block inside a program structurally, so the
+// same path resolves in any clone.
+type blockPath struct {
+	root  int // 0 = setup, 1 = thread a, 2 = class a method b
+	a, b  int
+	steps []blockStep
+}
+
+// blockStep descends from a block into a sub-block of statement idx.
+type blockStep struct {
+	idx int
+	sub int // 0 = If.Then, 1 = If.Else, 2 = Loop.Pre, 3 = Loop.Post
+}
+
+func (p blockPath) resolve(prog *bfj.Program) *bfj.Block {
+	var b *bfj.Block
+	switch p.root {
+	case 0:
+		b = prog.Setup
+	case 1:
+		b = prog.Threads[p.a]
+	case 2:
+		b = prog.Classes[p.a].Methods[p.b].Body
+	}
+	for _, st := range p.steps {
+		switch s := b.Stmts[st.idx].(type) {
+		case *bfj.If:
+			if st.sub == 0 {
+				b = s.Then
+			} else {
+				b = s.Else
+			}
+		case *bfj.Loop:
+			if st.sub == 2 {
+				b = s.Pre
+			} else {
+				b = s.Post
+			}
+		}
+	}
+	return b
+}
+
+// blockPaths enumerates every block in the program, outermost first.
+func blockPaths(prog *bfj.Program) []blockPath {
+	var out []blockPath
+	add := func(root blockPath, b *bfj.Block) {
+		out = append(out, root)
+		collectSubBlocks(root, b, &out)
+	}
+	if prog.Setup != nil {
+		add(blockPath{root: 0}, prog.Setup)
+	}
+	for i, t := range prog.Threads {
+		add(blockPath{root: 1, a: i}, t)
+	}
+	for ci, c := range prog.Classes {
+		for mi, m := range c.Methods {
+			add(blockPath{root: 2, a: ci, b: mi}, m.Body)
+		}
+	}
+	return out
+}
+
+func collectSubBlocks(parent blockPath, b *bfj.Block, out *[]blockPath) {
+	for i, s := range b.Stmts {
+		descend := func(sub int, nb *bfj.Block) {
+			if nb == nil {
+				return
+			}
+			np := blockPath{root: parent.root, a: parent.a, b: parent.b}
+			np.steps = append(append([]blockStep{}, parent.steps...), blockStep{idx: i, sub: sub})
+			*out = append(*out, np)
+			collectSubBlocks(np, nb, out)
+		}
+		switch x := s.(type) {
+		case *bfj.If:
+			descend(0, x.Then)
+			descend(1, x.Else)
+		case *bfj.Loop:
+			descend(2, x.Pre)
+			descend(3, x.Post)
+		}
+	}
+}

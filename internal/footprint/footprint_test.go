@@ -141,3 +141,41 @@ func TestMergePreservesCoverage(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestOffStrideRangeNotExtended pins the [0,6):2 counterexample behind
+// the stride-extension guard: [0,6):2 covers {0,2,4}, so its Hi-1 = 5
+// is off-stride and Hi-1+Step = 7 is NOT the next stride element (6
+// is).  Absorbing the singleton {7} into [0,8):2 would claim the
+// untouched index 6 and drop the touched index 7 — a false alarm and a
+// missed race in one edit.  The singleton must stay a separate entry.
+func TestOffStrideRangeNotExtended(t *testing.T) {
+	f := New()
+	f.Add(1, 0, 6, 2, true, bfj.Pos{})
+	f.Add(1, 7, 8, 1, true, bfj.Pos{})
+	got := collect(f)
+	if len(got[1]) != 2 {
+		t.Fatalf("off-stride range absorbed the singleton: %v", got[1])
+	}
+	if e := got[1][0]; e.Lo != 0 || e.Hi != 6 || e.Step != 2 {
+		t.Errorf("range entry mutated: %+v", e)
+	}
+	if e := got[1][1]; e.Lo != 7 || e.Hi != 8 {
+		t.Errorf("singleton entry mutated: %+v", e)
+	}
+}
+
+// TestOnStrideRangeExtends is the companion positive case: [0,5):2
+// covers {0,2,4} with Hi-1 = 4 on-stride, so the singleton {6} is the
+// genuine next element and extends the range to {0,2,4,6}.
+func TestOnStrideRangeExtends(t *testing.T) {
+	f := New()
+	f.Add(1, 0, 5, 2, true, bfj.Pos{})
+	f.Add(1, 6, 7, 1, true, bfj.Pos{})
+	got := collect(f)
+	if len(got[1]) != 1 {
+		t.Fatalf("on-stride singleton did not merge: %v", got[1])
+	}
+	if e := got[1][0]; e.Lo != 0 || e.Hi != 7 || e.Step != 2 {
+		t.Errorf("merged entry: %+v", e)
+	}
+}

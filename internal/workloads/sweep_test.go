@@ -1,0 +1,52 @@
+package workloads
+
+import (
+	"testing"
+
+	"bigfoot/internal/detector"
+	"bigfoot/internal/difftest"
+	"bigfoot/internal/interp"
+)
+
+// TestWorkloadScheduleSweepPrecision sweeps every JavaGrande workload
+// at test scale over several schedules and, for each (workload, seed)
+// pair, checks all five detectors against the oracle for trace and
+// address precision via the differential harness.  The workloads are
+// race-free by construction, so the sweep additionally asserts the
+// oracle never observes a race — a detector report on any schedule
+// would be a false alarm, a missed oracle race a workload bug.
+func TestWorkloadScheduleSweepPrecision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schedule sweep is slow; skipped in -short")
+	}
+	seeds := []int64{1, 2, 3}
+	for _, w := range All(TestScale()) {
+		if w.Suite != "javagrande" {
+			continue
+		}
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Parse()
+			for _, seed := range seeds {
+				o := detector.NewOracle()
+				if _, err := interp.Run(prog, o, interp.Options{Seed: seed}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if o.HasRaces() {
+					t.Fatalf("seed %d: oracle observed races in a race-free workload: %v",
+						seed, o.RacyDescs())
+				}
+			}
+			// The workloads spin on volatile barrier flags, so executed
+			// counts are schedule-sensitive across variants; CheckProgram's
+			// default (no count invariants) is the sound configuration.
+			dis, err := difftest.CheckProgram(prog, difftest.Options{Seeds: seeds})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dis != nil {
+				t.Errorf("detector/oracle disagreement: %s", dis)
+			}
+		})
+	}
+}
