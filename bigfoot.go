@@ -176,6 +176,12 @@ type RunConfig struct {
 	// (footprint commits, array refinements, shadow transitions).  A nil
 	// Trace leaves the untraced fast path untouched.
 	Trace *Recorder
+	// DebugCensus cross-checks the detector's exact incremental
+	// space census against a full shadow walk at every synchronization
+	// operation, panicking on mismatch.  Diagnostic only: the walk
+	// reintroduces exactly the O(heap) cost the incremental census
+	// removed.
+	DebugCensus bool
 }
 
 // Race describes one reported data race, with the provenance of both
@@ -238,9 +244,10 @@ func (i *Instrumented) Compile() (*Compiled, error) {
 func (c *Compiled) Run(cfg RunConfig) (*Report, error) {
 	useFP := c.Mode == SlimState || c.Mode == SlimCard || c.Mode == BigFoot
 	d := detector.New(detector.Config{
-		Name:       c.Mode.String(),
-		Footprints: useFP,
-		Proxies:    c.proxies,
+		Name:        c.Mode.String(),
+		Footprints:  useFP,
+		Proxies:     c.proxies,
+		DebugCensus: cfg.DebugCensus,
 	})
 	var hook interp.Hook = d
 	if cfg.Trace != nil {

@@ -7,7 +7,8 @@
 //	bfbench [-figure2] [-figure8] [-table1] [-table2] [-all]
 //	        [-scale N] [-threads T] [-trials K] [-seed S] [-program name]
 //	        [-parallel N] [-timeout D] [-explain-races]
-//	        [-json path] [-diff old.json] [-tolerance F] [-json-check path]
+//	        [-json path] [-diff old.json] [-diff-ignore m1,m2] [-tolerance F]
+//	        [-json-check path]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
 //	bfbench -fuzz [-fuzz-seeds N] [-fuzz-sched K] [-fuzz-out f] [-seed S] [-q]
 //
@@ -24,7 +25,9 @@
 // -json writes the structured, versioned report (the same data the text
 // tables render — see harness.Report) for committing as BENCH_*.json.
 // -diff loads a previous report and flags deterministic metrics that
-// regressed beyond -tolerance.  -json-check validates an existing
+// regressed beyond -tolerance; -diff-ignore excludes named metrics from
+// the comparison (for intentional semantic changes such as the
+// sampled→exact PeakWords fix).  -json-check validates an existing
 // report file (schema version, shape, renderability) and exits without
 // running any workload.
 //
@@ -39,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"bigfoot/internal/harness"
 	"bigfoot/internal/profiling"
@@ -66,6 +70,7 @@ func run() int {
 		quiet     = flag.Bool("q", false, "suppress progress lines")
 		jsonOut   = flag.String("json", "", "write the structured JSON report to this file")
 		diffOld   = flag.String("diff", "", "compare this run against a previous -json report")
+		diffSkip  = flag.String("diff-ignore", "", "comma-separated metric names excluded from -diff (e.g. peak_words,space_over_base)")
 		tolerance = flag.Float64("tolerance", harness.DefaultDiffTolerance, "relative slack for -diff regressions")
 		jsonCheck = flag.String("json-check", "", "validate an existing JSON report and exit (no run)")
 		explain   = flag.Bool("explain-races", false, "print per-detector race provenance (both access sites)")
@@ -197,7 +202,11 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
 			return 3
 		}
-		regs := harness.Diff(old, rep, *tolerance)
+		var ignore []string
+		if *diffSkip != "" {
+			ignore = strings.Split(*diffSkip, ",")
+		}
+		regs := harness.DiffIgnoring(old, rep, *tolerance, ignore...)
 		for _, g := range regs {
 			fmt.Fprintf(os.Stderr, "regression: %s\n", g)
 		}

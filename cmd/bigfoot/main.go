@@ -5,7 +5,7 @@
 //
 //	bigfoot [-mode bigfoot|fasttrack|redcard|slimstate|slimcard]
 //	        [-seed N] [-runs K] [-show] [-stats]
-//	        [-trace-out f.json] [-explain-races]
+//	        [-trace-out f.json] [-explain-races] [-debug-census]
 //	        [-cpuprofile f] [-memprofile f] [-trace f] file.bfj
 //
 // -show prints the instrumented program (with placed checks) instead of
@@ -15,8 +15,11 @@
 // first seed's execution and writes it as Chrome trace_event JSON (open
 // in ui.perfetto.dev or chrome://tracing; one lane per thread).
 // -explain-races prints a per-race provenance block with both access
-// sites.  The profiling flags capture runtime/pprof and runtime/trace
-// output for `go tool pprof` / `go tool trace`.
+// sites.  -debug-census validates the detector's exact incremental
+// space census against a full shadow walk at every synchronization
+// operation (diagnostic only — the walk is the cost the incremental
+// census removed).  The profiling flags capture runtime/pprof and
+// runtime/trace output for `go tool pprof` / `go tool trace`.
 package main
 
 import (
@@ -59,6 +62,7 @@ func run() int {
 		stats    = flag.Bool("stats", false, "print check/shadow statistics")
 		traceOut = flag.String("trace-out", "", "record the first seed's execution as Chrome trace_event JSON to this file")
 		explain  = flag.Bool("explain-races", false, "print per-race provenance (both access sites)")
+		debugCen = flag.Bool("debug-census", false, "cross-check the exact incremental space census against a full shadow walk at every sync op (slow; panics on mismatch)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -115,7 +119,7 @@ func run() int {
 				rec = bigfoot.NewRecorder(0) // trace the first seed only
 			}
 		}
-		rep, err := compiled.Run(bigfoot.RunConfig{Seed: s, Out: out, Trace: rec})
+		rep, err := compiled.Run(bigfoot.RunConfig{Seed: s, Out: out, Trace: rec, DebugCensus: *debugCen})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "runtime error (seed %d): %v\n", s, err)
 			return 1

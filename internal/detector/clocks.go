@@ -2,15 +2,25 @@ package detector
 
 import (
 	"bigfoot/internal/interp"
+	"bigfoot/internal/shadow"
 	"bigfoot/internal/vc"
 )
 
 // clocks maintains the per-thread vector clocks and the release/acquire
 // protocol shared by all detectors and the oracle.
+//
+// When meter is non-nil, every change to the censused clock storage
+// (thread clocks and volatile clocks — see words) is reported as a word
+// delta at the moment it happens, so the detector's incremental space
+// census stays exact without walking.  Lock clocks and end snapshots
+// are excluded from the census (matching words) and therefore never
+// metered.
 type clocks struct {
 	vcs  []vc.VC
 	ends []vc.VC
 	vols map[volKey]vc.VC
+
+	meter shadow.Meter
 }
 
 type volKey struct {
@@ -21,6 +31,12 @@ type volKey struct {
 // lockShadow is the detector-owned state attached to an object used as
 // a lock.
 type lockShadow struct{ v vc.VC }
+
+func (c *clocks) add(delta int) {
+	if c.meter != nil && delta != 0 {
+		c.meter.AddWords(delta)
+	}
+}
 
 func (c *clocks) now(t int) vc.VC {
 	c.grow(t)
@@ -34,15 +50,18 @@ func (c *clocks) grow(t int) {
 		v.Set(id, 1)
 		c.vcs = append(c.vcs, v)
 		c.ends = append(c.ends, vc.VC{})
+		c.add(id + 1)
 	}
 }
 
 func (c *clocks) fork(parent, child int) {
 	c.grow(parent)
 	c.grow(child)
+	before := c.vcs[child].Words()
 	nv := c.vcs[parent].Copy()
 	nv.Set(child, c.vcs[child].Get(child))
 	c.vcs[child] = nv
+	c.add(nv.Words() - before)
 	c.vcs[parent].Tick(parent)
 }
 
@@ -58,7 +77,7 @@ func (c *clocks) join(parent, child int) {
 	if end.Len() == 0 {
 		end = c.vcs[child]
 	}
-	c.vcs[parent].Join(end)
+	c.add(c.vcs[parent].Join(end))
 }
 
 func (c *clocks) lockVC(lock *interp.Object) *lockShadow {
@@ -72,7 +91,7 @@ func (c *clocks) lockVC(lock *interp.Object) *lockShadow {
 
 func (c *clocks) acquire(t int, lock *interp.Object) {
 	c.grow(t)
-	c.vcs[t].Join(c.lockVC(lock).v)
+	c.add(c.vcs[t].Join(c.lockVC(lock).v))
 }
 
 func (c *clocks) release(t int, lock *interp.Object) {
@@ -86,7 +105,7 @@ func (c *clocks) volRead(t int, o *interp.Object, f string) {
 	if c.vols == nil {
 		c.vols = map[volKey]vc.VC{}
 	}
-	c.vcs[t].Join(c.vols[volKey{o, f}])
+	c.add(c.vcs[t].Join(c.vols[volKey{o, f}]))
 }
 
 func (c *clocks) volWrite(t int, o *interp.Object, f string) {
@@ -96,13 +115,16 @@ func (c *clocks) volWrite(t int, o *interp.Object, f string) {
 	}
 	k := volKey{o, f}
 	v := c.vols[k]
-	v.Join(c.vcs[t])
+	c.add(v.Join(c.vcs[t]))
 	c.vols[k] = v
 	c.vcs[t].Tick(t)
 }
 
-// words reports clock storage for the space census (thread and lock
-// clocks are common to all detectors; per-location state dominates).
+// words recomputes clock storage by walking (thread and volatile clocks
+// only; lock clocks and end snapshots live in detector-owned space but
+// are not part of the per-location census).  The run path relies on the
+// metered increments instead; this walk backs the DebugCensus
+// cross-check.
 func (c *clocks) words() int {
 	w := 0
 	for _, v := range c.vcs {

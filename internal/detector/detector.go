@@ -17,6 +17,17 @@
 // The engine consumes check events (CheckField/CheckRange) and
 // synchronization events from the interpreter; it never looks at raw
 // accesses (those feed the oracle only).
+//
+// # Space accounting
+//
+// ShadowWords/PeakWords are maintained incrementally: every transition
+// that changes a shadow location's footprint — state creation,
+// read-vector inflation/deflation, array-mode refinement, clock-vector
+// growth — reports its word delta through AddWords (the shadow.Meter
+// implementation) at the moment it happens.  The census is therefore
+// exact at every step with O(1) work per transition; there is no
+// periodic full walk on the run path.  Config.DebugCensus retains a
+// walking recount purely as a cross-check assertion.
 package detector
 
 import (
@@ -46,6 +57,13 @@ type Config struct {
 	PeriodicCommit int
 	// Proxies enables static field proxy compression; nil disables.
 	Proxies *proxy.Table
+	// DebugCensus cross-checks the incremental space census against a
+	// full shadow walk at every synchronization operation and at
+	// Finish, panicking on any mismatch.  It exists to validate the
+	// O(1) accounting (enabled across the difftest sweep and the
+	// regress corpus); never set it in benchmarked runs — the walk is
+	// exactly the cost the incremental census removed.
+	DebugCensus bool
 	// TestDropFieldChecks is a fault-injection switch for the
 	// differential-testing suite: when set, the detector silently ignores
 	// every CheckField event, simulating a lost check.  The difftest
@@ -103,9 +121,9 @@ type Stats struct {
 	ShadowOps    uint64 // check-and-update operations on shadow locations
 	FootprintOps uint64 // footprint append operations
 	SyncOps      uint64
-	ShadowWords  uint64 // current shadow memory, 64-bit words
-	PeakWords    uint64
-	Refinements  int // array representation changes
+	ShadowWords  uint64 // current shadow memory, 64-bit words (exact, incremental)
+	PeakWords    uint64 // high-water mark of ShadowWords (exact, incremental)
+	Refinements  int    // array representation changes
 }
 
 // Detector is the check-driven dynamic race detection engine.
@@ -117,25 +135,58 @@ type Detector struct {
 
 	fps []*footprint.Footprint
 
-	// Shadow registries for the space census.
+	// Shadow registries for the DebugCensus walk (the run path never
+	// iterates them).
 	objShadows []*objShadow
 	arrFine    []*fineArray
 	arrComp    []*shadow.ArrayShadow
 	arrByID    map[int]*interp.Array
 
+	// sites caches per-check-site resolution, indexed by
+	// interp.FieldCheck.Index: the proxy groups a site touches and the
+	// dense shadow slot interned for each group.  Resolving once per
+	// site removes the GroupsOf call and all string work from the
+	// per-event path.
+	sites    []fieldSite
+	slotIdx  map[string]int
+	slotKeys []string // slot → group key, for descriptions
+
 	races    []Race
-	raceKeys map[string]bool
+	raceKeys map[raceKey]bool
 
 	obs Observer
 
 	Stats Stats
+}
 
-	censusCountdown int
+// fieldSite is the once-per-site resolution of a field check: the
+// distinct proxy-group keys it touches (first-occurrence order, exactly
+// proxy.GroupsOf) and their interned shadow slots.
+type fieldSite struct {
+	slots []int
+}
+
+// raceKey is the comparable dedup key for reported races — the struct
+// equivalent of the old formatted description ("Class#ID.group" /
+// "array#id[lo..hi:step]") without the Sprintf on the hot path.  Object
+// IDs are globally unique, so (objID, slot) identifies a field group;
+// array races are keyed by the exact committed range.
+type raceKey struct {
+	objID   int // -1 for array races
+	slot    int
+	arrayID int // -1 for field races
+	lo, hi  int
+	step    int
 }
 
 type objShadow struct {
-	obj    *interp.Object
-	states map[string]*shadow.State
+	obj *interp.Object
+	// states holds one shadow state per interned field-group slot,
+	// indexed by the detector-wide slot id and grown on demand.
+	// Entries the object never touched stay zero and are excluded from
+	// the census (State.Untouched), mirroring the absent map entries of
+	// the former map[string]*State representation.
+	states []shadow.State
 }
 
 type fineArray struct {
@@ -145,10 +196,26 @@ type fineArray struct {
 
 // New creates a detector with the given configuration.
 func New(cfg Config) *Detector {
-	return &Detector{
+	d := &Detector{
 		cfg:      cfg,
 		arrByID:  map[int]*interp.Array{},
-		raceKeys: map[string]bool{},
+		slotIdx:  map[string]int{},
+		raceKeys: map[raceKey]bool{},
+	}
+	d.clk.meter = d
+	return d
+}
+
+// AddWords implements shadow.Meter: it applies one word-count delta to
+// the running census and updates the peak.  Deltas arrive from the
+// clock table, the compressed array shadows, and the detector's own
+// state transitions; negative deltas (read-vector deflation) use the
+// two's-complement wrap of the unsigned add — the running total never
+// goes below zero.
+func (d *Detector) AddWords(delta int) {
+	d.Stats.ShadowWords += uint64(delta)
+	if d.Stats.ShadowWords > d.Stats.PeakWords {
+		d.Stats.PeakWords = d.Stats.ShadowWords
 	}
 }
 
@@ -216,21 +283,22 @@ func (d *Detector) Finish() {
 	for t := range d.fps {
 		d.commit(t)
 	}
-	d.census()
+	if d.cfg.DebugCensus {
+		d.verifyCensus()
+	}
 }
 
 // sync commits the thread's pending footprint (the deferred checks
-// belong to the epoch before the synchronization) and periodically
-// samples shadow memory.
+// belong to the epoch before the synchronization).  Space accounting is
+// incremental — no sampling happens here; under DebugCensus the
+// incremental totals are cross-checked against a full walk.
 func (d *Detector) sync(t int) {
 	d.Stats.SyncOps++
 	if d.cfg.Footprints {
 		d.commit(t)
 	}
-	d.censusCountdown--
-	if d.censusCountdown <= 0 {
-		d.censusCountdown = 256
-		d.census()
+	if d.cfg.DebugCensus {
+		d.verifyCensus()
 	}
 }
 
@@ -245,8 +313,10 @@ func (d *Detector) commit(t int) {
 		a := d.arrByID[arrayID]
 		sh := d.compShadow(a)
 		before := sh.Mode()
+		refsBefore := sh.Refinements
 		races, ops := sh.CommitAt(e.Write, t, now, e.Lo, e.Hi, e.Step, e.Pos)
 		d.Stats.ShadowOps += ops
+		d.Stats.Refinements += sh.Refinements - refsBefore
 		for _, r := range races {
 			d.reportArrayRace(r, a, e)
 		}
@@ -272,35 +342,72 @@ func (d *Detector) commit(t int) {
 // Check events
 // ---------------------------------------------------------------------------
 
+// site returns the cached per-site resolution for fc, computing it on
+// first encounter: the site's field list is mapped through the proxy
+// table (one GroupsOf per site, not per event) and each distinct group
+// key is interned to a dense shadow slot.
+func (d *Detector) site(fc *interp.FieldCheck) *fieldSite {
+	for len(d.sites) <= fc.Index {
+		d.sites = append(d.sites, fieldSite{})
+	}
+	s := &d.sites[fc.Index]
+	if s.slots == nil {
+		keys := fc.Fields
+		if d.cfg.Proxies != nil {
+			keys = d.cfg.Proxies.GroupsOf(fc.Fields)
+		}
+		s.slots = make([]int, len(keys))
+		for i, k := range keys {
+			s.slots[i] = d.slotOf(k)
+		}
+	}
+	return s
+}
+
+// slotOf interns a field-group key to a dense detector-wide slot index.
+func (d *Detector) slotOf(key string) int {
+	if i, ok := d.slotIdx[key]; ok {
+		return i
+	}
+	i := len(d.slotKeys)
+	d.slotIdx[key] = i
+	d.slotKeys = append(d.slotKeys, key)
+	return i
+}
+
 // CheckField implements interp.Hook: one shadow operation per proxy
 // group touched by the (possibly coalesced) check.  The first position
 // of the (sorted) position set is the representative access site for
-// provenance.
-func (d *Detector) CheckField(t int, write bool, o *interp.Object, fields []string, poss []bfj.Pos) {
+// provenance.  The no-race fast path does no string work and no
+// allocation: group resolution is cached per site and shadow states
+// live in a slot-indexed slice.
+func (d *Detector) CheckField(t int, write bool, o *interp.Object, fc *interp.FieldCheck) {
 	if d.cfg.TestDropFieldChecks {
 		return
 	}
-	var keys []string
-	if d.cfg.Proxies != nil {
-		keys = d.cfg.Proxies.GroupsOf(fields)
-	} else {
-		keys = fields
-	}
-	pos := firstPos(poss)
+	site := d.site(fc)
+	pos := firstPos(fc.Poss)
 	sh := d.objShadow(o)
 	now := d.clk.now(t)
-	for _, k := range keys {
-		st := sh.states[k]
-		if st == nil {
-			st = &shadow.State{}
-			sh.states[k] = st
+	for _, slot := range site.slots {
+		for len(sh.states) <= slot {
+			sh.states = append(sh.states, shadow.State{})
+		}
+		st := &sh.states[slot]
+		// First touch charges the state's two base words; afterwards
+		// only read-vector growth/deflation moves the census.
+		before := 0
+		if !st.Untouched() {
+			before = st.Words()
 		}
 		wasShared := st.Shared()
-		if r := st.ApplyAt(write, t, now, pos); r != nil {
-			d.reportFieldRace(r, o, k)
+		r := st.ApplyAt(write, t, now, pos)
+		d.AddWords(st.Words() - before)
+		if r != nil {
+			d.reportFieldRace(r, o, slot)
 		}
 		if d.obs != nil && !wasShared && st.Shared() {
-			d.obs.ReadShared(t, fmt.Sprintf("%s#%d.%s", o.Class.Name, o.ID, k))
+			d.obs.ReadShared(t, fmt.Sprintf("%s#%d.%s", o.Class.Name, o.ID, d.slotKeys[slot]))
 		}
 		d.Stats.ShadowOps++
 	}
@@ -322,7 +429,11 @@ func (d *Detector) CheckRange(t int, write bool, a *interp.Array, lo, hi, step i
 	sh := d.fineShadow(a)
 	now := d.clk.now(t)
 	for i := lo; i < hi; i += step {
-		if r := sh.states[i].ApplyAt(write, t, now, pos); r != nil {
+		st := &sh.states[i]
+		before := st.Words()
+		r := st.ApplyAt(write, t, now, pos)
+		d.AddWords(st.Words() - before)
+		if r != nil {
 			d.reportArrayRace(r, a, footprint.Entry{Lo: i, Hi: i + 1, Step: 1, Write: write})
 		}
 		d.Stats.ShadowOps++
@@ -330,7 +441,8 @@ func (d *Detector) CheckRange(t int, write bool, a *interp.Array, lo, hi, step i
 }
 
 // firstPos picks the representative position of a check's position set
-// (the sets are sorted, so this is the earliest covered access site).
+// (the sets are sorted, so this is the earliest covered access site —
+// pinned by instrument's TestCoalescedCheckPositionsSorted).
 func firstPos(poss []bfj.Pos) bfj.Pos {
 	if len(poss) > 0 {
 		return poss[0]
@@ -346,17 +458,17 @@ func (d *Detector) objShadow(o *interp.Object) *objShadow {
 		if s.obj != nil {
 			return s.obj
 		}
-		ns := &objShadow{obj: o, states: map[string]*shadow.State{}}
+		ns := &objShadow{obj: o}
 		s.obj = ns
 		d.objShadows = append(d.objShadows, ns)
 		return ns
 	case *lockShadow:
-		ns := &objShadow{obj: o, states: map[string]*shadow.State{}}
+		ns := &objShadow{obj: o}
 		o.Shadow = &shadowPair{lock: s, obj: ns}
 		d.objShadows = append(d.objShadows, ns)
 		return ns
 	}
-	s := &objShadow{obj: o, states: map[string]*shadow.State{}}
+	s := &objShadow{obj: o}
 	o.Shadow = s
 	d.objShadows = append(d.objShadows, s)
 	return s
@@ -369,6 +481,9 @@ func (d *Detector) fineShadow(a *interp.Array) *fineArray {
 	s := &fineArray{arr: a, states: make([]shadow.State, a.Len())}
 	a.Shadow = s
 	d.arrFine = append(d.arrFine, s)
+	// Fine shadows allocate all element states eagerly; the census
+	// charges them at creation (two words each), matching the walk.
+	d.AddWords(2 * a.Len())
 	return s
 }
 
@@ -377,8 +492,10 @@ func (d *Detector) compShadow(a *interp.Array) *shadow.ArrayShadow {
 		return s
 	}
 	s := shadow.NewArrayShadow(a.Len())
+	s.SetMeter(d)
 	a.Shadow = s
 	d.arrComp = append(d.arrComp, s)
+	d.AddWords(s.Words())
 	return s
 }
 
@@ -386,21 +503,23 @@ func (d *Detector) compShadow(a *interp.Array) *shadow.ArrayShadow {
 // Race reporting
 // ---------------------------------------------------------------------------
 
-func (d *Detector) reportFieldRace(r *shadow.Race, o *interp.Object, key string) {
-	desc := fmt.Sprintf("%s#%d.%s", o.Class.Name, o.ID, key)
-	if d.raceKeys[desc] {
+func (d *Detector) reportFieldRace(r *shadow.Race, o *interp.Object, slot int) {
+	key := raceKey{objID: o.ID, slot: slot, arrayID: -1}
+	if d.raceKeys[key] {
 		return
 	}
-	d.raceKeys[desc] = true
+	d.raceKeys[key] = true
+	group := d.slotKeys[slot]
+	desc := fmt.Sprintf("%s#%d.%s", o.Class.Name, o.ID, group)
 	d.races = append(d.races, Race{
 		Desc: desc, PrevTID: r.PrevTID, CurTID: r.CurTID,
 		PrevPos: r.PrevPos, CurPos: r.CurPos, PrevWrite: r.PrevW, CurWrite: r.IsWrite,
-		ObjID: o.ID, Field: key, ArrayID: -1, ClassTag: o.Class.Name,
+		ObjID: o.ID, Field: group, ArrayID: -1, ClassTag: o.Class.Name,
 	})
 }
 
 // reportArrayRace deduplicates by the exact committed range
-// "array#id[lo..hi:step]".  This key is deliberately range-exact, not
+// (array, lo, hi, step).  This key is deliberately range-exact, not
 // element-exact: adaptive refinement can re-report one underlying racy
 // element under several overlapping committed ranges (e.g. a coarse
 // [0..100:1] commit and a later fine [10..11:1] commit both racing on
@@ -410,11 +529,12 @@ func (d *Detector) reportFieldRace(r *shadow.Race, o *interp.Object, key string)
 // the benchmark tables pin — so the behavior is documented and pinned
 // by TestOverlappingRangeDedup instead.
 func (d *Detector) reportArrayRace(r *shadow.Race, a *interp.Array, e footprint.Entry) {
-	desc := fmt.Sprintf("array#%d[%d..%d:%d]", a.ID, e.Lo, e.Hi, e.Step)
-	if d.raceKeys[desc] {
+	key := raceKey{objID: -1, slot: -1, arrayID: a.ID, lo: e.Lo, hi: e.Hi, step: e.Step}
+	if d.raceKeys[key] {
 		return
 	}
-	d.raceKeys[desc] = true
+	d.raceKeys[key] = true
+	desc := fmt.Sprintf("array#%d[%d..%d:%d]", a.ID, e.Lo, e.Hi, e.Step)
 	d.races = append(d.races, Race{
 		Desc: desc, PrevTID: r.PrevTID, CurTID: r.CurTID,
 		PrevPos: r.PrevPos, CurPos: r.CurPos, PrevWrite: r.PrevW, CurWrite: r.IsWrite,
@@ -422,12 +542,20 @@ func (d *Detector) reportArrayRace(r *shadow.Race, a *interp.Array, e footprint.
 	})
 }
 
-// census recomputes shadow memory usage and updates the peak.
-func (d *Detector) census() {
-	var words uint64
+// ---------------------------------------------------------------------------
+// Debug census cross-check
+// ---------------------------------------------------------------------------
+
+// walkCensus recomputes shadow memory and refinements by walking every
+// registered shadow container — the algorithm the sampled census used
+// before accounting became incremental.  Only DebugCensus and tests
+// call it.
+func (d *Detector) walkCensus() (words uint64, refinements int) {
 	for _, s := range d.objShadows {
-		for _, st := range s.states {
-			words += uint64(st.Words())
+		for i := range s.states {
+			if st := &s.states[i]; !st.Untouched() {
+				words += uint64(st.Words())
+			}
 		}
 	}
 	for _, s := range d.arrFine {
@@ -435,16 +563,24 @@ func (d *Detector) census() {
 			words += uint64(s.states[i].Words())
 		}
 	}
-	var refinements int
 	for _, s := range d.arrComp {
-		words += uint64(s.Words())
+		words += uint64(s.WalkWords())
 		refinements += s.Refinements
 	}
 	words += uint64(d.clk.words())
-	d.Stats.ShadowWords = words
-	d.Stats.Refinements = refinements
-	if words > d.Stats.PeakWords {
-		d.Stats.PeakWords = words
+	return words, refinements
+}
+
+// verifyCensus panics if the incremental census disagrees with a full
+// walk.  The panic is deliberately not a recoverable interpreter error:
+// a mismatch is a detector bug, and the interpreter's thread recovery
+// only swallows runtime and abort signals, so the failure surfaces
+// loudly in tests and the difftest sweep.
+func (d *Detector) verifyCensus() {
+	words, refs := d.walkCensus()
+	if words != d.Stats.ShadowWords || refs != d.Stats.Refinements {
+		panic(fmt.Sprintf("detector: census mismatch: incremental words=%d refinements=%d, walked words=%d refinements=%d",
+			d.Stats.ShadowWords, d.Stats.Refinements, words, refs))
 	}
 }
 

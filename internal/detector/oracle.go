@@ -245,9 +245,9 @@ func (m MultiHook) WriteIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
 }
 
 // CheckField implements interp.Hook.
-func (m MultiHook) CheckField(t int, w bool, o *interp.Object, fs []string, poss []bfj.Pos) {
+func (m MultiHook) CheckField(t int, w bool, o *interp.Object, fc *interp.FieldCheck) {
 	for _, h := range m {
-		h.CheckField(t, w, o, fs, poss)
+		h.CheckField(t, w, o, fc)
 	}
 }
 

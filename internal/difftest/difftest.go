@@ -127,6 +127,11 @@ func CheckProgram(base *bfj.Program, opts Options) (*Disagreement, error) {
 		var accesses, syncs []uint64
 		for i, v := range vs {
 			cfg := v.Cfg
+			// Every differential run cross-checks the incremental space
+			// census against a full shadow walk (panics loudly on any
+			// mismatch), so the sweep and the regress corpus double as the
+			// census-accounting validation suite.
+			cfg.DebugCensus = true
 			if opts.Fault != nil {
 				opts.Fault(v.Name, &cfg)
 			}

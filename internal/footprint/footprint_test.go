@@ -179,3 +179,83 @@ func TestOnStrideRangeExtends(t *testing.T) {
 		t.Errorf("merged entry: %+v", e)
 	}
 }
+
+// naiveFootprint is the obviously-correct model: it records every
+// (array, element, write) triple of every Add with no merging at all.
+type naiveFootprint map[int]map[[2]int]bool // array id -> {element, write?1:0}
+
+func (n naiveFootprint) add(arrayID, lo, hi, step int, write bool) {
+	es := n[arrayID]
+	if es == nil {
+		es = map[[2]int]bool{}
+		n[arrayID] = es
+	}
+	w := 0
+	if write {
+		w = 1
+	}
+	for i := lo; i < hi; i += step {
+		es[[2]int{i, w}] = true
+	}
+}
+
+// TestInterleavedArraysMatchNaiveModel is the differential property
+// test for footprint merging: random Add sequences with mixed strides,
+// reads and writes, interleaved across several arrays — so the lastEs
+// cache alternates between hits (sequential runs on one array) and
+// misses (switching arrays mid-run) — must drain to entries covering
+// exactly the (element, write) set the naive model recorded.  Sequences
+// are singleton-heavy to exercise the run-extension and
+// stride-detection merges, which only fire on singleton adds.
+func TestInterleavedArraysMatchNaiveModel(t *testing.T) {
+	const elems = 128
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f := New()
+		want := naiveFootprint{}
+		arrays := []int{3, 7, 11}
+		cur := arrays[rng.Intn(len(arrays))]
+		for op := 0; op < 300; op++ {
+			// Mostly stay on one array (cache hits), sometimes switch
+			// (cache misses), as real loops over arrays do.
+			if rng.Intn(8) == 0 {
+				cur = arrays[rng.Intn(len(arrays))]
+			}
+			lo := rng.Intn(elems)
+			hi, step := lo+1, 1
+			switch rng.Intn(4) {
+			case 0: // contiguous range
+				hi = lo + 1 + rng.Intn(elems-lo)
+			case 1: // strided range
+				hi = lo + 1 + rng.Intn(elems-lo)
+				step = 1 + rng.Intn(4)
+			default: // singleton (the merge-heavy common case)
+			}
+			w := rng.Intn(2) == 0
+			f.Add(cur, lo, hi, step, w, bfj.Pos{})
+			want.add(cur, lo, hi, step, w)
+		}
+		got := naiveFootprint{}
+		f.Drain(func(id int, e Entry) {
+			if e.Step < 1 {
+				t.Fatalf("seed %d: drained entry with step %d", seed, e.Step)
+			}
+			got.add(id, e.Lo, e.Hi, e.Step, e.Write)
+		})
+		if f.Pending() {
+			t.Fatalf("seed %d: footprint still pending after drain", seed)
+		}
+		for _, id := range arrays {
+			for el := range want[id] {
+				if !got[id][el] {
+					t.Errorf("seed %d: array %d element %v added but not covered by drained entries", seed, id, el)
+				}
+			}
+			for el := range got[id] {
+				if !want[id][el] {
+					t.Errorf("seed %d: array %d element %v covered by drained entries but never added", seed, id, el)
+				}
+			}
+		}
+	}
+}

@@ -45,8 +45,22 @@ const DefaultDiffTolerance = 0.01
 // from different run configurations are flagged up front — their cells
 // are not comparable.
 func Diff(old, new *Report, tol float64) []Regression {
+	return DiffIgnoring(old, new, tol)
+}
+
+// DiffIgnoring is Diff with named metrics excluded from the comparison.
+// It exists for cross-PR checks that intentionally change one metric's
+// semantics — e.g. the sampled→exact PeakWords fix compares every other
+// column with `ignore = ["peak_words", "space_over_base"]` and verifies
+// those two separately (exact must dominate sampled).  Metric names
+// match the Regression.Metric strings ("peak_words", "overhead", ...).
+func DiffIgnoring(old, new *Report, tol float64, ignore ...string) []Regression {
 	if tol < 0 {
 		tol = DefaultDiffTolerance
+	}
+	skip := map[string]bool{}
+	for _, m := range ignore {
+		skip[m] = true
 	}
 	var out []Regression
 	if old.Run != new.Run {
@@ -64,7 +78,9 @@ func Diff(old, new *Report, tol float64) []Regression {
 			out = append(out, Regression{Program: op.Name, Metric: "missing"})
 			continue
 		}
-		out = append(out, diffCell(op.Name, "", "checks_inserted", float64(op.ChecksInserted), float64(np.ChecksInserted), tol)...)
+		if !skip["checks_inserted"] {
+			out = append(out, diffCell(op.Name, "", "checks_inserted", float64(op.ChecksInserted), float64(np.ChecksInserted), tol)...)
+		}
 		names := make([]string, 0, len(op.Detectors))
 		for n := range op.Detectors {
 			names = append(names, n)
@@ -91,6 +107,9 @@ func Diff(old, new *Report, tol float64) []Regression {
 				{"races", float64(od.Races), float64(nd.Races)},
 			}
 			for _, c := range cells {
+				if skip[c.metric] {
+					continue
+				}
 				out = append(out, diffCell(op.Name, n, c.metric, c.old, c.new, tol)...)
 			}
 		}

@@ -240,11 +240,11 @@ type countingHook struct {
 	fields, arrays uint64
 }
 
-func (c *countingHook) CheckField(t int, w bool, o *interp.Object, fs []string, poss []bfj.Pos) {
+func (c *countingHook) CheckField(t int, w bool, o *interp.Object, fc *interp.FieldCheck) {
 	if t != 0 {
 		c.fields++
 	}
-	c.Hook.CheckField(t, w, o, fs, poss)
+	c.Hook.CheckField(t, w, o, fc)
 }
 
 func (c *countingHook) CheckRange(t int, w bool, a *interp.Array, lo, hi, step int, poss []bfj.Pos) {

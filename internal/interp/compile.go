@@ -75,6 +75,10 @@ type compiler struct {
 	prog     *bfj.Program
 	volatile map[string]bool
 	methods  map[*bfj.Method]*compiledBody
+
+	// fieldChecks numbers the field-check sites so each FieldCheck
+	// carries a dense, per-artifact index (see FieldCheck.Index).
+	fieldChecks int
 }
 
 // compileErr aborts compilation with a static error.
@@ -498,15 +502,15 @@ func (c *compiler) compileFork(x *bfj.Fork, sc *scope) cstmt {
 
 func (c *compiler) compileCheck(x *bfj.Check, sc *scope) cstmt {
 	type citem struct {
-		write  bool
-		field  bool
-		base   int
-		fields []string
-		lo     cexpr
-		hi     cexpr
-		step   cexpr
-		path   expr.Path
-		poss   []bfj.Pos
+		write bool
+		field bool
+		base  int
+		fc    *FieldCheck
+		lo    cexpr
+		hi    cexpr
+		step  cexpr
+		path  expr.Path
+		poss  []bfj.Pos
 	}
 	items := make([]citem, 0, len(x.Items))
 	for _, it := range x.Items {
@@ -515,7 +519,8 @@ func (c *compiler) compileCheck(x *bfj.Check, sc *scope) cstmt {
 		case expr.FieldPath:
 			ci.field = true
 			ci.base = sc.slot(p.Base)
-			ci.fields = p.Fields
+			ci.fc = &FieldCheck{Index: c.fieldChecks, Fields: p.Fields, Poss: it.Positions}
+			c.fieldChecks++
 		case expr.ArrayPath:
 			ci.base = sc.slot(p.Base)
 			ci.lo = c.compileExpr(p.Range.Lo, sc)
@@ -532,7 +537,7 @@ func (c *compiler) compileCheck(x *bfj.Check, sc *scope) cstmt {
 			if ci.field {
 				o := getObj(t, ci.base, "check designator")
 				in.countCheck(t)
-				in.hook.CheckField(t.ID, ci.write, o, ci.fields, ci.poss)
+				in.hook.CheckField(t.ID, ci.write, o, ci.fc)
 				continue
 			}
 			a := getArr(t, ci.base, "check designator")

@@ -1,0 +1,27 @@
+package interp
+
+import "bigfoot/internal/bfj"
+
+// FieldCheck is the compile-time identity of one field-check site: the
+// (possibly coalesced) field list a check(C) item covers and its source
+// position set.  Compile builds exactly one FieldCheck per field check
+// item and the hook receives that same pointer on every execution of
+// the site, so per-site work — proxy-group resolution, shadow-slot
+// interning, string formatting — can be done once and cached against
+// Index instead of being recomputed per event.
+type FieldCheck struct {
+	// Index is a dense site identifier, unique within one Compiled
+	// artifact (assigned in compilation order starting at 0).  Hooks
+	// that cache per-site state indexed by Index must not be reused
+	// across different Compiled artifacts.
+	Index int
+
+	// Fields is the sorted, duplicate-free field list of the coalesced
+	// check item (see expr.NewFieldPath).
+	Fields []string
+
+	// Poss is the source position set the item covers, sorted by
+	// line/column (zero/nil for programmatically built ASTs).  The
+	// first entry is the representative access site for provenance.
+	Poss []bfj.Pos
+}

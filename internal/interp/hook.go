@@ -38,7 +38,10 @@ type Hook interface {
 	WriteIndex(t int, a *Array, i int, pos bfj.Pos)
 
 	// CheckField reports an executed (possibly coalesced) field check.
-	CheckField(t int, write bool, o *Object, fields []string, poss []bfj.Pos)
+	// The FieldCheck is the site's compile-time identity: the same
+	// pointer fires on every execution of the same check item, so hooks
+	// can cache per-site state against fc.Index.
+	CheckField(t int, write bool, o *Object, fc *FieldCheck)
 	// CheckRange reports an executed array range check [lo,hi):step.
 	CheckRange(t int, write bool, a *Array, lo, hi, step int, poss []bfj.Pos)
 
@@ -84,7 +87,7 @@ func (NopHook) ReadIndex(t int, a *Array, i int, pos bfj.Pos) {}
 func (NopHook) WriteIndex(t int, a *Array, i int, pos bfj.Pos) {}
 
 // CheckField implements Hook.
-func (NopHook) CheckField(t int, write bool, o *Object, fields []string, poss []bfj.Pos) {}
+func (NopHook) CheckField(t int, write bool, o *Object, fc *FieldCheck) {}
 
 // CheckRange implements Hook.
 func (NopHook) CheckRange(t int, write bool, a *Array, lo, hi, step int, poss []bfj.Pos) {}

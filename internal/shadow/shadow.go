@@ -12,6 +12,16 @@ import (
 	"bigfoot/internal/vc"
 )
 
+// Meter receives word-count deltas from shadow containers that resize
+// their state (read-vector inflation/deflation, array-mode refinement,
+// clock-vector growth).  Implementations keep a running total so the
+// space census is exact at every step with O(1) work per transition —
+// no full walks.  Deltas may be negative (e.g. a write deflating a
+// read vector); the running total never goes below zero.
+type Meter interface {
+	AddWords(delta int)
+}
+
 // Race describes a detected data race on one shadow location.
 type Race struct {
 	PrevTID int     // thread of the earlier conflicting access
@@ -150,6 +160,14 @@ func (s *State) ApplyAt(write bool, t int, now vc.VC, pos bfj.Pos) *Race {
 // two epoch words plus any read vector.
 func (s *State) Words() int { return 2 + s.RV.Words() }
 
+// Untouched reports whether the state has never seen an access.  Used
+// by the incremental census to charge a state's base two words on first
+// touch: epochs pack clock@tid with clocks starting at 1, so any access
+// installs a non-zero W or R (or inflates RV), and a later write that
+// deflates RV leaves W non-zero — a touched state never reads as
+// untouched again.
+func (s *State) Untouched() bool { return s.W.IsZero() && s.R.IsZero() && !s.shared() }
+
 func max(a, b int) int {
 	if a > b {
 		return a
@@ -205,19 +223,50 @@ type ArrayShadow struct {
 
 	// Refinements counts representation changes (reported in ablations).
 	Refinements int
+
+	// words caches the current footprint so Words is O(1); every
+	// internal transition funnels its delta through addw, which also
+	// forwards it to the attached meter (if any).
+	words int
+	meter Meter
 }
 
 // NewArrayShadow builds the initial (coarse) shadow for an array of n
 // elements.
 func NewArrayShadow(n int) *ArrayShadow {
-	return &ArrayShadow{n: n, mode: ModeCoarse}
+	// The coarse representation is one State: two words.
+	return &ArrayShadow{n: n, mode: ModeCoarse, words: 2}
+}
+
+// SetMeter attaches a meter that receives every subsequent word-count
+// delta of this shadow.  The current footprint (Words) is not reported
+// retroactively — the caller accounts for it when attaching.
+func (a *ArrayShadow) SetMeter(m Meter) { a.meter = m }
+
+// addw applies a word-count delta to the cache and the meter.
+func (a *ArrayShadow) addw(delta int) {
+	if delta == 0 {
+		return
+	}
+	a.words += delta
+	if a.meter != nil {
+		a.meter.AddWords(delta)
+	}
 }
 
 // Mode returns the current representation mode.
 func (a *ArrayShadow) Mode() ArrayMode { return a.mode }
 
 // Words reports the shadow size in 64-bit words for the space census.
-func (a *ArrayShadow) Words() int {
+// It is an O(1) read of the incrementally maintained cache; WalkWords
+// recomputes the same value from the representation for cross-checks.
+func (a *ArrayShadow) Words() int { return a.words }
+
+// WalkWords recomputes the shadow size by walking the current
+// representation.  It exists only to validate the incremental cache
+// (detector.Config.DebugCensus and the shadow tests); the run path uses
+// Words.
+func (a *ArrayShadow) WalkWords() int {
 	switch a.mode {
 	case ModeCoarse:
 		return a.coarse.Words()
@@ -266,9 +315,11 @@ func (a *ArrayShadow) CommitAt(write bool, t int, now vc.VC, lo, hi, step int, p
 	var races []*Race
 	var ops uint64
 	apply := func(s *State) {
+		before := s.Words()
 		if r := s.ApplyAt(write, t, now, pos); r != nil {
 			races = append(races, r)
 		}
+		a.addw(s.Words() - before)
 		ops++
 	}
 
@@ -359,6 +410,8 @@ func (a *ArrayShadow) splitAt(k int) {
 			a.segs = append(a.segs, State{})
 			copy(a.segs[i+1:], a.segs[i:])
 			a.segs[i+1] = cloneState(a.segs[i])
+			// One new bound word plus the cloned segment state.
+			a.addw(1 + a.segs[i+1].Words())
 			return
 		}
 	}
@@ -376,9 +429,13 @@ func (a *ArrayShadow) toBlocks() {
 	a.bounds = []int{0, a.n}
 	a.segs = []State{a.coarse}
 	a.Refinements++
+	// The coarse state moved into segs[0] unchanged; the two bound
+	// words are new.
+	a.addw(2)
 }
 
 func (a *ArrayShadow) toStrided(k int) {
+	cw := a.coarse.Words()
 	a.mode = ModeStrided
 	a.stride = k
 	a.strided = make([]State, k)
@@ -386,6 +443,8 @@ func (a *ArrayShadow) toStrided(k int) {
 		a.strided[j] = cloneState(a.coarse)
 	}
 	a.Refinements++
+	// From one coarse state (cw words) to the stride word plus k clones.
+	a.addw(1 + k*cw - cw)
 }
 
 // toFine reverts to one state per element, duplicating the current
@@ -410,10 +469,15 @@ func (a *ArrayShadow) toFine() {
 	case ModeFine:
 		return
 	}
+	nw := 0
+	for i := range fine {
+		nw += fine[i].Words()
+	}
 	a.mode = ModeFine
 	a.fine = fine
 	a.bounds, a.segs, a.strided = nil, nil, nil
 	a.Refinements++
+	a.addw(nw - a.words)
 }
 
 // DebugString summarizes the representation.

@@ -95,9 +95,9 @@ func (ts tee) WriteIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
 	}
 }
 
-func (ts tee) CheckField(t int, write bool, o *interp.Object, fields []string, poss []bfj.Pos) {
+func (ts tee) CheckField(t int, write bool, o *interp.Object, fc *interp.FieldCheck) {
 	for _, h := range ts {
-		h.CheckField(t, write, o, fields, poss)
+		h.CheckField(t, write, o, fc)
 	}
 }
 

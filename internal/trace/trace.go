@@ -180,9 +180,9 @@ func (r *Recorder) WriteIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
 }
 
 // CheckField implements interp.Hook.
-func (r *Recorder) CheckField(t int, write bool, o *interp.Object, fields []string, poss []bfj.Pos) {
+func (r *Recorder) CheckField(t int, write bool, o *interp.Object, fc *interp.FieldCheck) {
 	r.record(Event{Thread: t, Op: "check-fields", Write: write,
-		Target: objTarget(o, strings.Join(fields, "/")), Pos: bfj.FormatPositions(poss)})
+		Target: objTarget(o, strings.Join(fc.Fields, "/")), Pos: bfj.FormatPositions(fc.Poss)})
 }
 
 // CheckRange implements interp.Hook.

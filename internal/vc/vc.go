@@ -80,14 +80,19 @@ func (v *VC) grow(n int) {
 	}
 }
 
-// Join sets v to the pointwise maximum of v and o.
-func (v *VC) Join(o VC) {
+// Join sets v to the pointwise maximum of v and o.  It returns the
+// number of words v grew by, so callers maintaining an incremental
+// space census can account for clock-vector growth at the moment it
+// happens (growth is the only way a join changes a clock's footprint).
+func (v *VC) Join(o VC) int {
+	before := len(v.c)
 	v.grow(len(o.c))
 	for i, x := range o.c {
 		if x > v.c[i] {
 			v.c[i] = x
 		}
 	}
+	return len(v.c) - before
 }
 
 // Copy returns an independent copy of v.
