@@ -28,18 +28,24 @@
 package bigfoot
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 
-	"bigfoot/internal/analysis"
 	"bigfoot/internal/bfj"
-	"bigfoot/internal/detector"
-	"bigfoot/internal/instrument"
+	"bigfoot/internal/engine"
 	"bigfoot/internal/interp"
-	"bigfoot/internal/proxy"
 	"bigfoot/internal/trace"
 )
+
+// defaultEngine backs every facade execution: the facade is a thin
+// client of the internal engine (the same session core the batch
+// harness and the bigfootd service run on), so there is exactly one
+// execution path in the system.  The facade's artifacts are explicit
+// (Instrumented, Compiled), so the engine-side artifact cache stays
+// disabled here.
+var defaultEngine = engine.New(engine.Options{})
 
 // Pos is a source position in BFJ source text (1-based line and column).
 // The zero Pos means "unknown"; see Pos.IsValid.
@@ -79,6 +85,13 @@ const (
 var modeNames = map[Mode]string{
 	FastTrack: "FastTrack", RedCard: "RedCard", SlimState: "SlimState",
 	SlimCard: "SlimCard", BigFoot: "BigFoot",
+}
+
+// modeVariants maps facade modes onto the engine's canonical variant
+// names (the paper's Figure 2 abbreviations).
+var modeVariants = map[Mode]string{
+	FastTrack: "FT", RedCard: "RC", SlimState: "SS",
+	SlimCard: "SC", BigFoot: "BF",
 }
 
 // String names the mode.
@@ -123,8 +136,7 @@ type Instrumented struct {
 	Mode  Mode
 	Stats AnalysisStats
 
-	ast     *bfj.Program
-	proxies *proxy.Table
+	placement *engine.Placement
 
 	once     sync.Once
 	compiled *Compiled
@@ -134,34 +146,22 @@ type Instrumented struct {
 // Instrument places race checks according to the mode's placement
 // strategy.
 func (p *Program) Instrument(m Mode) *Instrumented {
-	out := &Instrumented{Mode: m}
-	switch m {
-	case FastTrack, SlimState:
-		prog, st := instrument.EveryAccess(p.ast)
-		out.ast = prog
-		out.Stats.ChecksPlaced = st.ChecksInserted
-	case RedCard, SlimCard:
-		prog, st := instrument.RedCard(p.ast)
-		out.ast = prog
-		out.Stats.ChecksPlaced = st.ChecksInserted
-		out.proxies = proxy.Analyze(prog)
-	case BigFoot:
-		an := analysis.New(p.ast, analysis.DefaultOptions())
-		out.ast = an.Instrument()
-		out.Stats = AnalysisStats{
-			BodiesAnalyzed: an.Stats.BodiesAnalyzed,
-			ChecksPlaced:   an.Stats.ChecksPlaced,
-			CheckItems:     an.Stats.CheckItems,
-			AnalysisTime:   an.Stats.AnalysisTime.Seconds(),
-		}
-		out.proxies = proxy.Analyze(out.ast)
+	pl := engine.InstrumentFor(p.ast, modeVariants[m])
+	return &Instrumented{
+		Mode:      m,
+		placement: pl,
+		Stats: AnalysisStats{
+			BodiesAnalyzed: pl.Stats.BodiesAnalyzed,
+			ChecksPlaced:   pl.Stats.ChecksPlaced,
+			CheckItems:     pl.Stats.CheckItems,
+			AnalysisTime:   pl.Stats.AnalysisTime.Seconds(),
+		},
 	}
-	return out
 }
 
 // Text renders the instrumented program (with explicit check statements)
 // in BFJ surface syntax.
-func (i *Instrumented) Text() string { return bfj.FormatProgram(i.ast) }
+func (i *Instrumented) Text() string { return bfj.FormatProgram(i.placement.Prog) }
 
 // RunConfig controls an execution.
 type RunConfig struct {
@@ -222,55 +222,55 @@ type Compiled struct {
 	Mode  Mode
 	Stats AnalysisStats
 
-	art     *interp.Compiled
-	proxies *proxy.Table
+	variant *engine.Variant
 }
 
 // Compile lowers the instrumented program for execution.  The result is
 // cached: every call (and every Instrumented.Run) shares one artifact.
 func (i *Instrumented) Compile() (*Compiled, error) {
 	i.once.Do(func() {
-		art, err := interp.Compile(i.ast)
+		v, err := i.placement.Compile()
 		if err != nil {
 			i.compErr = err
 			return
 		}
-		i.compiled = &Compiled{Mode: i.Mode, Stats: i.Stats, art: art, proxies: i.proxies}
+		i.compiled = &Compiled{Mode: i.Mode, Stats: i.Stats, variant: v}
 	})
 	return i.compiled, i.compErr
 }
 
 // Run executes the compiled program under its mode's detector.
 func (c *Compiled) Run(cfg RunConfig) (*Report, error) {
-	useFP := c.Mode == SlimState || c.Mode == SlimCard || c.Mode == BigFoot
-	d := detector.New(detector.Config{
-		Name:        c.Mode.String(),
-		Footprints:  useFP,
-		Proxies:     c.proxies,
-		DebugCensus: cfg.DebugCensus,
+	return c.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: cancellation (or a deadline)
+// stops the execution at the next scheduling point and returns the
+// context's error, so callers can bound or interrupt a detected run
+// without dropping to internal packages.
+func (c *Compiled) RunContext(ctx context.Context, cfg RunConfig) (*Report, error) {
+	out, err := defaultEngine.Run(ctx, c.variant, engine.RunSpec{
+		DetectorName: c.Mode.String(),
+		Seed:         cfg.Seed,
+		MaxSteps:     cfg.MaxSteps,
+		Out:          cfg.Out,
+		Trace:        cfg.Trace,
+		DebugCensus:  cfg.DebugCensus,
 	})
-	var hook interp.Hook = d
-	if cfg.Trace != nil {
-		// Recorder first: each check event must be recorded before the
-		// detector emits the observer events it derives from that check.
-		hook = trace.Tee(cfg.Trace, d)
-		d.SetObserver(cfg.Trace)
-	}
-	cnt, err := c.art.Run(hook, interp.Options{Seed: cfg.Seed, Out: cfg.Out, MaxSteps: cfg.MaxSteps})
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
-		Accesses:     cnt.Accesses(),
-		Checks:       cnt.CheckItems,
-		ShadowOps:    d.Stats.ShadowOps,
-		FootprintOps: d.Stats.FootprintOps,
-		ShadowWords:  d.Stats.PeakWords,
+		Accesses:     out.Counters.Accesses(),
+		Checks:       out.Counters.CheckItems,
+		ShadowOps:    out.ShadowOps,
+		FootprintOps: out.FootprintOps,
+		ShadowWords:  out.PeakWords,
 	}
 	if rep.Accesses > 0 {
 		rep.CheckRatio = float64(rep.Checks) / float64(rep.Accesses)
 	}
-	for _, r := range d.Races() {
+	for _, r := range out.Races {
 		rep.Races = append(rep.Races, Race{
 			Location:  r.Desc,
 			Threads:   [2]int{r.PrevTID, r.CurTID},
@@ -286,11 +286,16 @@ func (c *Compiled) Run(cfg RunConfig) (*Report, error) {
 // Run executes the instrumented program under its mode's detector,
 // compiling on first use and reusing the cached artifact afterwards.
 func (i *Instrumented) Run(cfg RunConfig) (*Report, error) {
+	return i.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context (see Compiled.RunContext).
+func (i *Instrumented) RunContext(ctx context.Context, cfg RunConfig) (*Report, error) {
 	c, err := i.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return c.Run(cfg)
+	return c.RunContext(ctx, cfg)
 }
 
 // RunBase executes the original (uninstrumented) program, returning its

@@ -24,18 +24,54 @@ import (
 // being rejected.
 const fuzzShrinkMaxSteps = 500_000
 
+// shard is a parsed -shard i/n selection: of the campaign's program
+// indices, this host checks exactly those with index ≡ i (mod n).
+type shard struct {
+	i, n int
+}
+
+// parseShard parses "i/n" with 0 <= i < n.  The empty string is the
+// whole campaign (0/1).
+func parseShard(s string) (shard, error) {
+	if s == "" {
+		return shard{0, 1}, nil
+	}
+	var sh shard
+	if _, err := fmt.Sscanf(s, "%d/%d", &sh.i, &sh.n); err != nil {
+		return shard{}, fmt.Errorf("-shard %q: want i/n", s)
+	}
+	if sh.n < 1 || sh.i < 0 || sh.i >= sh.n {
+		return shard{}, fmt.Errorf("-shard %q: want 0 <= i < n", s)
+	}
+	return sh, nil
+}
+
+// contains reports whether program index p belongs to this shard.  The
+// partition is deterministic and exhaustive: for a fixed campaign seed
+// the n shards check disjoint program sets whose union is exactly the
+// unsharded campaign (generation itself is never skipped, so program p
+// is byte-identical on every host regardless of n).
+func (sh shard) contains(p int) bool { return p%sh.n == sh.i }
+
 // runFuzz executes a differential campaign of nProgs generated
-// programs, each swept over nSched scheduler seeds.  Returns 0 when
-// every (program, seed) pair agrees, 1 after writing a shrunk repro
-// for the first disagreement, 3 on repro I/O errors.
-func runFuzz(baseSeed int64, nProgs, nSched int, out string, quiet bool) int {
+// programs, each swept over nSched scheduler seeds; of those programs,
+// only the ones in sh are checked (the rest are still generated, so the
+// program stream is shard-invariant).  Returns 0 when every checked
+// (program, seed) pair agrees, 1 after writing a shrunk repro for the
+// first disagreement, 3 on repro I/O errors.
+func runFuzz(baseSeed int64, nProgs, nSched int, out string, quiet bool, sh shard) int {
 	rng := rand.New(rand.NewSource(baseSeed))
 	seeds := make([]int64, nSched)
 	for i := range seeds {
 		seeds[i] = int64(i)
 	}
+	checked := 0
 	for p := 0; p < nProgs; p++ {
 		g := bfgen.Generate(rng, bfgen.DefaultConfig())
+		if !sh.contains(p) {
+			continue
+		}
+		checked++
 		dis, err := difftest.CheckGenerated(g, difftest.Options{Seeds: seeds})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bfbench: program %d failed to run: %v\n%s\n", p, err, g.Source)
@@ -53,14 +89,18 @@ func runFuzz(baseSeed int64, nProgs, nSched int, out string, quiet bool) int {
 		if dis != nil {
 			return reportFuzzFailure(p, g, dis, out)
 		}
-		if !quiet && (p+1)%10 == 0 {
+		if !quiet && checked%10 == 0 {
 			fmt.Fprintf(os.Stderr, "fuzz: %d/%d programs, %d (program, seed) pairs, no disagreements\n",
-				p+1, nProgs, (p+1)*nSched)
+				p+1, nProgs, checked*nSched)
 		}
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "fuzz: campaign clean: %d programs x %d schedules x %d detectors\n",
-			nProgs, nSched, len(difftest.DetectorNames))
+		suffix := ""
+		if sh.n > 1 {
+			suffix = fmt.Sprintf(" (shard %d/%d: %d checked)", sh.i, sh.n, checked)
+		}
+		fmt.Fprintf(os.Stderr, "fuzz: campaign clean: %d programs x %d schedules x %d detectors%s\n",
+			nProgs, nSched, len(difftest.DetectorNames), suffix)
 	}
 	return 0
 }

@@ -14,11 +14,77 @@ import (
 // no disagreement, exits 0, and writes no repro file.
 func TestRunFuzzClean(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "repro.bfj")
-	if code := runFuzz(42, 5, 2, out, true); code != 0 {
+	if code := runFuzz(42, 5, 2, out, true, shard{0, 1}); code != 0 {
 		t.Fatalf("clean campaign exited %d, want 0", code)
 	}
 	if _, err := os.Stat(out); !os.IsNotExist(err) {
 		t.Errorf("repro file written on a clean campaign (stat err=%v)", err)
+	}
+}
+
+// TestParseShard pins the -shard flag grammar.
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want shard
+		ok   bool
+	}{
+		{"", shard{0, 1}, true},
+		{"0/1", shard{0, 1}, true},
+		{"2/4", shard{2, 4}, true},
+		{"4/4", shard{}, false},
+		{"-1/4", shard{}, false},
+		{"1/0", shard{}, false},
+		{"x/y", shard{}, false},
+		{"3", shard{}, false},
+	} {
+		got, err := parseShard(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("parseShard(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestShardPartition: for any n, the shards are disjoint and their
+// union is exactly the full program index space — N hosts running the
+// same campaign seed split the work without overlap or gaps.
+func TestShardPartition(t *testing.T) {
+	const programs = 97
+	for n := 1; n <= 5; n++ {
+		owners := make([]int, programs)
+		for p := range owners {
+			owners[p] = -1
+		}
+		for i := 0; i < n; i++ {
+			sh := shard{i, n}
+			for p := 0; p < programs; p++ {
+				if sh.contains(p) {
+					if owners[p] != -1 {
+						t.Fatalf("n=%d: program %d owned by shards %d and %d", n, p, owners[p], i)
+					}
+					owners[p] = i
+				}
+			}
+		}
+		for p, owner := range owners {
+			if owner == -1 {
+				t.Fatalf("n=%d: program %d unowned", n, p)
+			}
+		}
+	}
+}
+
+// TestShardedCampaignMatchesUnsharded: the program stream is generated
+// identically on every host, so sharded campaigns check the same
+// programs the unsharded campaign does — a disagreement found by the
+// full campaign is found by exactly one shard.
+func TestShardedCampaignMatchesUnsharded(t *testing.T) {
+	// A clean mini-campaign across 3 shards exits 0 on each host.
+	for i := 0; i < 3; i++ {
+		out := filepath.Join(t.TempDir(), "repro.bfj")
+		if code := runFuzz(42, 6, 1, out, true, shard{i, 3}); code != 0 {
+			t.Errorf("shard %d/3 exited %d, want 0", i, code)
+		}
 	}
 }
 

@@ -10,13 +10,17 @@
 //	        [-json path] [-diff old.json] [-diff-ignore m1,m2] [-tolerance F]
 //	        [-json-check path]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
-//	bfbench -fuzz [-fuzz-seeds N] [-fuzz-sched K] [-fuzz-out f] [-seed S] [-q]
+//	bfbench -fuzz [-fuzz-seeds N] [-fuzz-sched K] [-fuzz-out f] [-seed S]
+//	        [-shard i/n] [-q]
 //
 // -fuzz runs a differential-fuzz campaign instead of the evaluation:
 // N generated programs (bfgen, seeded from -seed) each swept over K
 // scheduler seeds under all five detectors against the oracle, plus
 // the metamorphic race-freedom oracles.  The first disagreement is
 // shrunk to a minimal repro written to -fuzz-out, and the run exits 1.
+// -shard i/n deterministically partitions the program space so n hosts
+// running the same -seed split one campaign: host i checks programs
+// with index ≡ i (mod n); the shards are disjoint and exhaustive.
 //
 // Without a selection flag, -all is assumed.  -parallel bounds the
 // evaluation worker pool (0 = GOMAXPROCS); results are identical at any
@@ -78,6 +82,7 @@ func run() int {
 		fuzzSeeds = flag.Int("fuzz-seeds", 100, "generated programs per -fuzz campaign")
 		fuzzSched = flag.Int("fuzz-sched", 3, "scheduler seeds swept per generated program")
 		fuzzOut   = flag.String("fuzz-out", "fuzz-repro.bfj", "write the shrunk repro of a -fuzz disagreement here")
+		fuzzShard = flag.String("shard", "", "check only shard i/n of the -fuzz program space (deterministic partition; all hosts use the same -seed)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -95,7 +100,15 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "bfbench: -fuzz-seeds and -fuzz-sched must be >= 1")
 			return 2
 		}
-		return runFuzz(*seed, *fuzzSeeds, *fuzzSched, *fuzzOut, *quiet)
+		sh, err := parseShard(*fuzzShard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+			return 2
+		}
+		return runFuzz(*seed, *fuzzSeeds, *fuzzSched, *fuzzOut, *quiet, sh)
+	} else if *fuzzShard != "" {
+		fmt.Fprintln(os.Stderr, "bfbench: -shard requires -fuzz")
+		return 2
 	}
 
 	if *jsonCheck != "" {

@@ -1,0 +1,119 @@
+// Command bigfootd serves BigFoot race detection as a long-lived
+// HTTP/JSON daemon: submit a BFJ program, select detector variants, and
+// get back the same versioned harness.Report JSON that bfbench writes.
+//
+// Usage:
+//
+//	bigfootd [-addr :8347] [-cache 64] [-max-steps N] [-max-timeout D]
+//	         [-v]
+//
+// Endpoints:
+//
+//	POST /v1/run    {"program": "...", "detectors": ["FT","BF"], ...}
+//	                -> harness.Report JSON (X-Bigfoot-Cache: hit|miss)
+//	GET  /v1/stats  -> artifact-cache and session counters
+//	GET  /healthz   -> ok
+//
+// Compiled artifacts are cached (bounded LRU, content-addressed), so
+// resubmitting a program pays no parse/instrument/compile cost.  On
+// SIGINT/SIGTERM the daemon stops admitting sessions, drains the ones
+// in flight, and exits 0; a second signal aborts immediately.
+//
+// All diagnostics go to stderr; stdout stays silent so the daemon can
+// run under supervisors that capture streams separately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bigfoot/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8347", "listen address")
+		cacheSize  = flag.Int("cache", service.DefaultCacheSize, "artifact cache capacity (entries)")
+		maxSteps   = flag.Uint64("max-steps", service.DefaultMaxSteps, "per-execution step budget cap")
+		maxTimeout = flag.Duration("max-timeout", service.DefaultTimeout, "per-session wall-clock budget cap")
+		drainFor   = flag.Duration("drain-timeout", time.Minute, "grace period for in-flight sessions on shutdown")
+		verbose    = flag.Bool("v", false, "log every session and cache event")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "bigfootd: unexpected arguments %q\n", flag.Args())
+		return 2
+	}
+
+	logger := log.New(os.Stderr, "bigfootd: ", log.LstdFlags)
+	logf := func(format string, args ...any) {
+		if *verbose {
+			logger.Printf(format, args...)
+		}
+	}
+
+	svc := service.New(service.Config{
+		CacheSize:  *cacheSize,
+		MaxSteps:   *maxSteps,
+		MaxTimeout: *maxTimeout,
+		Logf:       logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bigfootd: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: svc}
+	logger.Printf("listening on %s (cache %d entries, max steps %d, max timeout %v)",
+		ln.Addr(), *cacheSize, *maxSteps, *maxTimeout)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "bigfootd: %v\n", err)
+		return 1
+	case sig := <-sigs:
+		logger.Printf("received %v, draining in-flight sessions", sig)
+	}
+
+	// Graceful shutdown: refuse new sessions (503), drain the running
+	// ones, then close the listener.  A second signal aborts the grace
+	// period.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	go func() {
+		<-sigs
+		logger.Printf("second signal, aborting drain")
+		cancel()
+	}()
+	code := 0
+	if err := svc.Drain(ctx); err != nil {
+		logger.Printf("%v", err)
+		code = 1
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+		code = 1
+	}
+	logger.Printf("drained; bye")
+	return code
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SourceHash returns the content address of BFJ source text: a
+// truncated SHA-256 hex digest, stable across processes, used both as
+// the artifact identity in results and as the program component of
+// cache keys.
+func SourceHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:16])
+}
+
+// CacheKey derives the cache identity of one build request: the
+// program's content hash plus the normalized variant set and whether
+// the uninstrumented base is included.  Two requests with the same key
+// would produce interchangeable artifacts, so they may share one.
+func CacheKey(src string, variants []string, withBase bool) string {
+	var b strings.Builder
+	b.WriteString(SourceHash(src))
+	b.WriteByte('/')
+	b.WriteString(strings.Join(variants, "+"))
+	if withBase {
+		b.WriteString("/base")
+	}
+	return b.String()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness
+// counters; the service layer surfaces it in results.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// String renders the snapshot for log lines.
+func (s CacheStats) String() string {
+	return "hits=" + strconv.FormatUint(s.Hits, 10) +
+		" misses=" + strconv.FormatUint(s.Misses, 10) +
+		" evictions=" + strconv.FormatUint(s.Evictions, 10) +
+		" entries=" + strconv.Itoa(s.Entries) + "/" + strconv.Itoa(s.Capacity)
+}
+
+// Cache is a bounded, content-addressed LRU cache of build artifacts.
+// Artifacts are immutable, so a cached *Artifact is returned to every
+// caller without copying and may back concurrent Run calls while later
+// requests keep hitting the same entry.
+//
+// Concurrent misses on the same key are collapsed: one caller builds
+// while the others wait for that build's result (or error — failed
+// builds are not cached, so a later request retries).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // MRU at front; values are *cacheEntry
+	entries map[string]*list.Element // key -> element holding *cacheEntry
+
+	building map[string]*buildCall
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	art *Artifact
+}
+
+// buildCall is an in-flight build other callers of the same key wait on.
+type buildCall struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+}
+
+// NewCache creates a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:      capacity,
+		order:    list.New(),
+		entries:  map[string]*list.Element{},
+		building: map[string]*buildCall{},
+	}
+}
+
+// Get returns the cached artifact for key, updating recency, or nil.
+func (c *Cache) Get(key string) *Artifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).art
+	}
+	c.misses++
+	return nil
+}
+
+// GetOrBuild returns the artifact for key, building it with build on a
+// miss.  The boolean reports whether the artifact came from the cache
+// (a caller that waited on another caller's in-flight build counts as a
+// hit: it did not compile).  Errors are returned to every waiter and
+// not cached.
+func (c *Cache) GetOrBuild(key string, build func() (*Artifact, error)) (*Artifact, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		art := el.Value.(*cacheEntry).art
+		c.mu.Unlock()
+		return art, true, nil
+	}
+	if call, ok := c.building[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, false, call.err
+		}
+		return call.art, true, nil
+	}
+	c.misses++
+	call := &buildCall{done: make(chan struct{})}
+	c.building[key] = call
+	c.mu.Unlock()
+
+	call.art, call.err = build()
+	close(call.done)
+
+	c.mu.Lock()
+	delete(c.building, key)
+	if call.err == nil {
+		c.insert(key, call.art)
+	}
+	c.mu.Unlock()
+	return call.art, false, call.err
+}
+
+// insert adds the artifact as most-recently-used, evicting the LRU
+// entry when the cache is full.  Caller holds mu.
+func (c *Cache) insert(key string, art *Artifact) {
+	if el, ok := c.entries[key]; ok {
+		// Lost a race with a concurrent insert of the same key; keep the
+		// existing entry (the artifacts are interchangeable).
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, art: art})
+}
+
+// Peek reports whether key is cached without touching the hit/miss
+// counters or recency — the service layer uses it to label a request's
+// cache outcome before the actual lookup happens inside the run.
+func (c *Cache) Peek(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats snapshots the effectiveness counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: c.order.Len(), Capacity: c.cap,
+	}
+}

@@ -19,6 +19,13 @@
 // deterministic (seeded schedules, trial-invariant), so the aggregated
 // results are identical at every worker count; only wall-clock timings
 // vary.
+//
+// The harness is a batch client of internal/engine: program
+// preparation and every detected execution go through the engine's
+// compile-once session core, and this package adds what batch
+// evaluation needs on top — trials, minimum-of-trials timing, the
+// cost-model overheads, aggregation into ProgramResult/Report, and the
+// table/JSON views.
 package harness
 
 import (
@@ -31,12 +38,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"bigfoot/internal/analysis"
-	"bigfoot/internal/bfj"
 	"bigfoot/internal/detector"
-	"bigfoot/internal/instrument"
-	"bigfoot/internal/interp"
-	"bigfoot/internal/proxy"
+	"bigfoot/internal/engine"
 	"bigfoot/internal/workloads"
 )
 
@@ -168,6 +171,11 @@ type Options struct {
 	// MaxSteps bounds every interpreted execution so a runaway workload
 	// fails fast instead of hanging the suite (0 = interpreter default).
 	MaxSteps uint64
+	// Detectors selects the evaluated variant set (canonical engine
+	// names, e.g. "FT", "BF"); nil or empty evaluates all five.  Views
+	// that compare detectors (Figure 2, Table 1, ...) require the full
+	// set; Signature and the JSON report render any subset.
+	Detectors []string
 }
 
 // DefaultOptions returns the standard evaluation configuration.
@@ -175,156 +183,93 @@ func DefaultOptions() Options {
 	return Options{Scale: workloads.DefaultScale(), Seed: 42, Trials: 5}
 }
 
-// Runner executes the evaluation.
+// Runner executes the evaluation: a thin batch client over the engine
+// that adds trials, aggregation, and report assembly.
 type Runner struct {
 	Opts Options
 	// Progress, when non-nil, receives one line per completed program.
 	// It may be invoked from worker goroutines; calls are serialized.
 	Progress func(string)
+	// Engine, when non-nil, is the session core used for every build and
+	// run — inject a shared engine to reuse its artifact cache across
+	// runners (the bigfootd service does).  nil lazily constructs a
+	// private uncached engine.
+	Engine *engine.Engine
+	// Logf receives engine diagnostics (cache traffic, build failures).
+	// nil discards; no output stream is written by default.
+	Logf engine.Logf
 
 	progressMu sync.Mutex
+	engineOnce sync.Once
 }
 
-// variantSpec couples a compiled instrumented program with a detector
-// configuration.
-type variantSpec struct {
-	name       string
-	compiled   *interp.Compiled
-	footprints bool
-	proxies    *proxy.Table
+// engine returns the injected engine, or lazily constructs a private
+// uncached one.
+func (r *Runner) engine() *engine.Engine {
+	r.engineOnce.Do(func() {
+		if r.Engine == nil {
+			r.Engine = engine.New(engine.Options{Logf: r.Logf})
+		}
+	})
+	return r.Engine
 }
 
 // runOutcome records one (variant, trial) execution.
 type runOutcome struct {
-	dur      time.Duration
-	counters interp.Counters
-	det      *detector.Detector
-	fields   uint64
-	arrays   uint64
-	err      error
+	out *engine.Outcome
+	err error
 }
 
-// programState is one workload moving through the pipeline: compiled
-// artifacts from the preparation stage, an outcome slot per job, and a
-// countdown that triggers deterministic aggregation when the last job
-// completes.
+// programState is one workload moving through the pipeline: the
+// engine-built artifact from the preparation stage, an outcome slot per
+// job, and a countdown that triggers deterministic aggregation when the
+// last job completes.
 type programState struct {
-	w        workloads.Workload
-	res      *ProgramResult
-	base     *interp.Compiled
-	variants []variantSpec
+	w   workloads.Workload
+	res *ProgramResult
+	art *engine.Artifact
 
 	// outcomes[0] is the base configuration; outcomes[1+i] is
-	// DetectorNames[i]; the inner index is the trial.
+	// art.Variants[i]; the inner index is the trial.
 	outcomes [][]runOutcome
 	pending  atomic.Int64
 	err      error // aggregation result (joined job errors)
 }
 
-// compiledFor returns the execution artifact for variant slot v
-// (0 = base).
-func (st *programState) compiledFor(v int) *interp.Compiled {
-	if v == 0 {
-		return st.base
-	}
-	return st.variants[v-1].compiled
-}
-
-// countingHook forwards every event to the wrapped detector hook while
-// tallying executed field vs. array check items (Figure 8's split).
-// Hook callbacks run on the scheduler token, so the counts need no
-// synchronization.  Thread 0 is excluded to match the interpreter's
-// check counters.
-type countingHook struct {
-	interp.Hook
-	fields, arrays uint64
-}
-
-func (c *countingHook) CheckField(t int, w bool, o *interp.Object, fc *interp.FieldCheck) {
-	if t != 0 {
-		c.fields++
-	}
-	c.Hook.CheckField(t, w, o, fc)
-}
-
-func (c *countingHook) CheckRange(t int, w bool, a *interp.Array, lo, hi, step int, poss []bfj.Pos) {
-	if t != 0 {
-		c.arrays++
-	}
-	c.Hook.CheckRange(t, w, a, lo, hi, step, poss)
-}
-
-// buildVariants instruments and compiles a program for all five
-// detectors plus the uninstrumented base, recording the instrument and
-// compile phase costs in tm.
-func buildVariants(base *bfj.Program, tm *PhaseTimings) (*interp.Compiled, []variantSpec, analysis.Stats, error) {
-	instStart := time.Now()
-	every, _ := instrument.EveryAccess(base)
-	red, _ := instrument.RedCard(base)
-	an := analysis.New(base, analysis.DefaultOptions())
-	big := an.Instrument()
-
-	redProx := proxy.Analyze(red)
-	bigProx := proxy.Analyze(big)
-	tm.Instrument = time.Since(instStart)
-
-	compStart := time.Now()
-	defer func() { tm.Compile = time.Since(compStart) }()
-	specs := []variantSpec{
-		{name: "FT", footprints: false, proxies: nil},
-		{name: "RC", footprints: false, proxies: redProx},
-		{name: "SS", footprints: true, proxies: nil},
-		{name: "SC", footprints: true, proxies: redProx},
-		{name: "BF", footprints: true, proxies: bigProx},
-	}
-	progs := []*bfj.Program{every, red, every, red, big}
-	for i := range specs {
-		c, err := interp.Compile(progs[i])
-		if err != nil {
-			return nil, nil, an.Stats, fmt.Errorf("%s: %w", specs[i].name, err)
-		}
-		specs[i].compiled = c
-	}
-	baseC, err := interp.Compile(base)
-	if err != nil {
-		return nil, nil, an.Stats, err
-	}
-	return baseC, specs, an.Stats, nil
-}
-
-// prepare runs the compile-once stage for one workload: parse,
-// instrument per detector, and compile each variant.
+// prepare runs the compile-once stage for one workload through the
+// engine: parse, instrument per requested detector, and compile each
+// variant plus the uninstrumented base.  Builds go through the engine's
+// artifact cache when it has one.
 func (r *Runner) prepare(w workloads.Workload) (*programState, error) {
-	var tm PhaseTimings
-	parseStart := time.Now()
-	base, err := bfj.Parse(w.Source)
-	tm.Parse = time.Since(parseStart)
+	art, _, err := r.engine().BuildSource(w.Source, engine.BuildSpec{
+		Variants: r.Opts.Detectors,
+		WithBase: true,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("%s: parse: %w", w.Name, err)
-	}
-	baseC, variants, stats, err := buildVariants(base, &tm)
-	if err != nil {
-		return nil, fmt.Errorf("%s: compile: %w", w.Name, err)
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	trials := r.Opts.Trials
 	if trials < 1 {
 		trials = 1
 	}
 	st := &programState{
-		w:        w,
-		base:     baseC,
-		variants: variants,
+		w:   w,
+		art: art,
 		res: &ProgramResult{
 			Name:            w.Name,
 			Suite:           w.Suite,
-			MethodsAnalyzed: stats.BodiesAnalyzed,
-			StaticTime:      stats.AnalysisTime,
-			ChecksInserted:  stats.ChecksPlaced,
-			Phases:          tm,
-			Detectors:       map[string]*DetectorResult{},
+			MethodsAnalyzed: art.Stats.BodiesAnalyzed,
+			StaticTime:      art.Stats.AnalysisTime,
+			ChecksInserted:  art.Stats.ChecksPlaced,
+			Phases: PhaseTimings{
+				Parse:      art.Timings.Parse,
+				Instrument: art.Timings.Instrument,
+				Compile:    art.Timings.Compile,
+			},
+			Detectors: map[string]*DetectorResult{},
 		},
 	}
-	st.outcomes = make([][]runOutcome, 1+len(variants))
+	st.outcomes = make([][]runOutcome, 1+len(art.Variants))
 	for i := range st.outcomes {
 		st.outcomes[i] = make([]runOutcome, trials)
 	}
@@ -333,38 +278,27 @@ func (r *Runner) prepare(w workloads.Workload) (*programState, error) {
 }
 
 // runJob executes one (variant, trial) cell of a program's outcome
-// matrix, reusing the stage's compiled artifact.
+// matrix through the engine, reusing the stage's compiled artifact.
 func (r *Runner) runJob(ctx context.Context, st *programState, v, trial int) {
-	out := &st.outcomes[v][trial]
+	slot := &st.outcomes[v][trial]
 	if err := ctx.Err(); err != nil {
-		out.err = err
+		slot.err = err
 		return
 	}
-	opts := interp.Options{Seed: r.Opts.Seed, MaxSteps: r.Opts.MaxSteps}
-	var hook interp.Hook = interp.NopHook{}
-	var counting *countingHook
-	if v > 0 {
-		out.det = detector.New(detector.Config{
-			Name:       st.variants[v-1].name,
-			Footprints: st.variants[v-1].footprints,
-			Proxies:    st.variants[v-1].proxies,
-		})
-		counting = &countingHook{Hook: out.det}
-		hook = counting
-	}
-	start := time.Now()
-	c, err := st.compiledFor(v).Run(hook, opts)
-	out.dur = time.Since(start)
-	out.counters = c
-	if counting != nil {
-		out.fields, out.arrays = counting.fields, counting.arrays
-	}
-	if err != nil {
-		if v == 0 {
-			out.err = fmt.Errorf("%s: base run: %w", st.w.Name, err)
-		} else {
-			out.err = fmt.Errorf("%s/%s: %w", st.w.Name, st.variants[v-1].name, err)
+	spec := engine.RunSpec{Seed: r.Opts.Seed, MaxSteps: r.Opts.MaxSteps}
+	var err error
+	if v == 0 {
+		slot.out, err = r.engine().RunBase(ctx, st.art.Base, spec)
+		if err != nil {
+			slot.err = fmt.Errorf("%s: base run: %w", st.w.Name, err)
 		}
+		return
+	}
+	spec.CountChecks = true
+	variant := st.art.Variants[v-1]
+	slot.out, err = r.engine().Run(ctx, variant, spec)
+	if err != nil {
+		slot.err = fmt.Errorf("%s/%s: %w", st.w.Name, variant.Name, err)
 	}
 }
 
@@ -387,43 +321,42 @@ func (st *programState) finalize() {
 	res := st.res
 	for _, trials := range st.outcomes {
 		for i := range trials {
-			res.Phases.Run += trials[i].dur
+			res.Phases.Run += trials[i].out.Duration
 		}
 	}
 	base := st.outcomes[0]
 	res.BaseTime = minDur(base)
-	res.BaseSteps = base[0].counters.Steps
-	res.Accesses = base[0].counters.Accesses()
-	res.BaseWords = base[0].counters.BaseWords
+	res.BaseSteps = base[0].out.Counters.Steps
+	res.Accesses = base[0].out.Counters.Accesses()
+	res.BaseWords = base[0].out.Counters.BaseWords
 
-	for i, v := range st.variants {
+	for i, v := range st.art.Variants {
 		trials := st.outcomes[1+i]
-		first := &trials[0]
+		first := trials[0].out
 		dt := minDur(trials)
-		dc := first.counters
-		det := first.det
+		dc := first.Counters
 		dr := &DetectorResult{
-			Name:         v.name,
+			Name:         v.Name,
 			Time:         dt,
-			Overhead:     modelOverhead(dc.CheckItems, det.Stats.ShadowOps, det.Stats.FootprintOps, dc.SyncOps, res.BaseSteps),
+			Overhead:     modelOverhead(dc.CheckItems, first.ShadowOps, first.FootprintOps, dc.SyncOps, res.BaseSteps),
 			WallOverhead: overhead(dt, res.BaseTime),
 			CheckRatio:   ratio(dc.CheckItems, res.Accesses),
 			Checks:       dc.CheckItems,
-			ShadowOps:    det.Stats.ShadowOps,
-			FootprintOps: det.Stats.FootprintOps,
+			ShadowOps:    first.ShadowOps,
+			FootprintOps: first.FootprintOps,
 			SyncOps:      dc.SyncOps,
-			PeakWords:    det.Stats.PeakWords,
-			SpaceOverX:   ratio(det.Stats.PeakWords, res.BaseWords),
-			Races:        det.RaceCount(),
-			ArrayModes:   det.ArrayModes(),
-			RaceReports:  raceReports(det.Races()),
+			PeakWords:    first.PeakWords,
+			SpaceOverX:   ratio(first.PeakWords, res.BaseWords),
+			Races:        len(first.Races),
+			ArrayModes:   first.ArrayModes,
+			RaceReports:  raceReports(first.Races),
 		}
-		res.Detectors[v.name] = dr
-		switch v.name {
+		res.Detectors[v.Name] = dr
+		switch v.Name {
 		case "FT":
-			res.FTFieldChecks, res.FTArrayChecks = first.fields, first.arrays
+			res.FTFieldChecks, res.FTArrayChecks = first.FieldChecks, first.ArrayChecks
 		case "BF":
-			res.BFFieldChecks, res.BFArrayChecks = first.fields, first.arrays
+			res.BFFieldChecks, res.BFArrayChecks = first.FieldChecks, first.ArrayChecks
 		}
 	}
 }
@@ -456,10 +389,10 @@ func raceReports(races []detector.Race) []RaceReport {
 }
 
 func minDur(trials []runOutcome) time.Duration {
-	best := trials[0].dur
+	best := trials[0].out.Duration
 	for _, tr := range trials[1:] {
-		if tr.dur < best {
-			best = tr.dur
+		if tr.out.Duration < best {
+			best = tr.out.Duration
 		}
 	}
 	return best
@@ -477,6 +410,12 @@ func (r *Runner) progress(st *programState) {
 		return
 	}
 	res := st.res
+	if res.Detectors["FT"] == nil || res.Detectors["BF"] == nil {
+		// Subset run (Options.Detectors): the standard line needs FT+BF.
+		r.Progress(fmt.Sprintf("%-11s base=%-10v detectors=%d",
+			st.w.Name, res.BaseTime.Round(time.Millisecond), len(res.Detectors)))
+		return
+	}
 	r.Progress(fmt.Sprintf("%-11s base=%-10v FT=%.2fx BF=%.2fx ratioBF=%.3f",
 		st.w.Name, res.BaseTime.Round(time.Millisecond),
 		res.Detectors["FT"].Overhead, res.Detectors["BF"].Overhead,

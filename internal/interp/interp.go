@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -148,6 +149,9 @@ type Interp struct {
 	opts     Options
 	C        Counters
 
+	// ctx cancels the run: the scheduler polls it between time slices
+	// and unwinds every thread goroutine before returning ctx.Err().
+	ctx     context.Context
 	rng     *rand.Rand
 	threads []*Thread
 	back    chan struct{}
@@ -158,6 +162,11 @@ type Interp struct {
 	err     error
 	aborted bool
 }
+
+// ErrStepLimit is wrapped by the error a run returns when it exceeds
+// Options.MaxSteps, so callers can classify budget exhaustion
+// (errors.Is) without string matching.
+var ErrStepLimit = fmt.Errorf("step limit exceeded")
 
 type runtimeErr struct{ msg string }
 
@@ -173,10 +182,20 @@ func fail(format string, args ...any) {
 // exceeded).  Run is safe to call concurrently on the same artifact:
 // each call builds its own interpreter state.
 func (c *Compiled) Run(hook Hook, opts Options) (Counters, error) {
+	return c.RunContext(context.Background(), hook, opts)
+}
+
+// RunContext is Run under a context: cancellation (or a deadline) stops
+// the execution at the next scheduling point, unwinds every thread
+// goroutine, and returns the partial counters alongside ctx.Err().  A
+// context that can never be cancelled (Done() == nil) adds no work to
+// the scheduler loop.
+func (c *Compiled) RunContext(ctx context.Context, hook Hook, opts Options) (Counters, error) {
 	in := &Interp{
 		compiled: c,
 		hook:     hook,
 		opts:     opts.withDefaults(),
+		ctx:      ctx,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		back:     make(chan struct{}),
 	}
@@ -285,10 +304,22 @@ func (in *Interp) startThread(t *Thread, body func()) {
 
 // schedule runs the token-passing scheduler until all threads finish.
 func (in *Interp) schedule() error {
+	var done <-chan struct{}
+	if in.ctx != nil {
+		done = in.ctx.Done()
+	}
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				in.abortAll()
+				return in.ctx.Err()
+			default:
+			}
+		}
 		if in.C.Steps > in.opts.MaxSteps {
 			in.abortAll()
-			return fmt.Errorf("step limit exceeded (%d)", in.opts.MaxSteps)
+			return fmt.Errorf("%w (%d)", ErrStepLimit, in.opts.MaxSteps)
 		}
 		var runnable []*Thread
 		alive := false

@@ -1,0 +1,342 @@
+// Package service is the HTTP/JSON layer of detection-as-a-service:
+// bigfootd's request handling over the internal engine.  A Server
+// accepts BFJ programs, runs them under a selected detector-variant set
+// with per-request budgets, and answers with the versioned
+// harness.Report JSON — the same schema bfbench writes, so reports are
+// interchangeable between the batch and service paths.
+//
+// Error discipline mirrors bfbench's audited exit codes:
+//
+//	bfbench exit            HTTP                   code
+//	0  clean                200 OK                 —
+//	1  workload failure     422 Unprocessable      "program"
+//	1  timeout/step budget  408 Request Timeout    "budget"
+//	2  usage error          400 Bad Request        "usage"
+//	3  report I/O           500 Internal           "internal"
+//	—  draining shutdown    503 Unavailable        "draining"
+//
+// Every non-200 response is a JSON ErrorResponse carrying one of those
+// code strings, so load generators can separate budget exhaustion
+// (expected under deliberately tight limits) from real failures.
+//
+// Concurrent sessions share one engine and therefore one bounded
+// content-addressed artifact cache: resubmitting a program skips its
+// parse/instrument/compile cost entirely.  The per-request cache
+// outcome is surfaced in the X-Bigfoot-Cache response header and the
+// aggregate counters at GET /v1/stats.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bigfoot/internal/engine"
+	"bigfoot/internal/harness"
+	"bigfoot/internal/workloads"
+)
+
+// Default request limits; Config overrides.
+const (
+	DefaultMaxSteps    = 50_000_000
+	DefaultTimeout     = 30 * time.Second
+	DefaultMaxBody     = 1 << 20 // 1 MiB of BFJ source is a very large program
+	DefaultCacheSize   = 64
+	DefaultMaxInFlight = 0 // unlimited
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the session core to run on; nil constructs one with
+	// CacheSize.
+	Engine *engine.Engine
+	// CacheSize bounds the artifact cache of an internally-constructed
+	// engine (ignored when Engine is set); 0 means DefaultCacheSize.
+	CacheSize int
+	// MaxSteps caps every request's step budget; requests asking for
+	// more (or for no limit) are clamped.  0 means DefaultMaxSteps.
+	MaxSteps uint64
+	// MaxTimeout caps every request's wall-clock budget; 0 means
+	// DefaultTimeout.  Requests asking for no timeout get the cap.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds the request body; 0 means DefaultMaxBody.
+	MaxBodyBytes int64
+	// Logf receives request and engine diagnostics.  nil discards — the
+	// server never writes to stdout or stderr on its own.
+	Logf engine.Logf
+}
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	// Name labels the program in the report (default "program").
+	Name string `json:"name,omitempty"`
+	// Program is the BFJ source text to check.
+	Program string `json:"program"`
+	// Detectors selects the variant set by canonical name ("FT", "RC",
+	// "SS", "SC", "BF"); empty runs all five.
+	Detectors []string `json:"detectors,omitempty"`
+	// Seed drives the deterministic thread schedule.
+	Seed int64 `json:"seed,omitempty"`
+	// Trials repeats each configuration for minimum-of-trials timing
+	// (default 1; deterministic counters are trial-invariant).
+	Trials int `json:"trials,omitempty"`
+	// MaxSteps bounds each interpreted execution, clamped to the
+	// server's cap (0 = the cap).
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	// TimeoutMS bounds the whole session's wall-clock time in
+	// milliseconds, clamped to the server's cap (0 = the cap).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ErrorResponse is the body of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"` // "usage", "program", "budget", "internal", "draining"
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	Cache    engine.CacheStats `json:"cache"`
+	Sessions SessionStats      `json:"sessions"`
+}
+
+// SessionStats counts detection sessions over the server's lifetime.
+type SessionStats struct {
+	Active    int64  `json:"active"`
+	Completed uint64 `json:"completed"`
+}
+
+// Server handles detection sessions over a shared engine.
+type Server struct {
+	cfg Config
+	eng *engine.Engine
+	mux *http.ServeMux
+
+	active    atomic.Int64
+	completed atomic.Uint64
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// New creates a Server, applying Config defaults.
+func New(cfg Config) *Server {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBody
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		size := cfg.CacheSize
+		if size <= 0 {
+			size = DefaultCacheSize
+		}
+		eng = engine.New(engine.Options{CacheSize: size, Logf: cfg.Logf})
+	}
+	s := &Server{cfg: cfg, eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Engine returns the engine the server runs on (shared artifact cache).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admitting new sessions and waits until every in-flight
+// session has completed or ctx expires.  Pair it with
+// http.Server.Shutdown for a graceful stop: new requests get 503 while
+// the old ones run to completion.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %d sessions still in flight: %w", s.active.Load(), ctx.Err())
+	}
+}
+
+// admit registers an in-flight session unless the server is draining.
+func (s *Server) admit() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var st Stats
+	if c := s.eng.Cache(); c != nil {
+		st.Cache = c.Stats()
+	}
+	st.Sessions = SessionStats{Active: s.active.Load(), Completed: s.completed.Load()}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleRun is one detection session: decode, budget, run, report.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if !s.admit() {
+		writeError(w, http.StatusServiceUnavailable, "draining", errors.New("server is shutting down"))
+		return
+	}
+	defer s.inflight.Done()
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	defer s.completed.Add(1)
+
+	req, err := s.decodeRun(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "usage", err)
+		return
+	}
+	names, err := engine.NormalizeVariants(req.Detectors)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "usage", err)
+		return
+	}
+
+	// The cache outcome this request will see: Peek before running, so
+	// concurrent identical requests that collapse onto one in-flight
+	// build still label the build they waited on.
+	wasCached := false
+	if c := s.eng.Cache(); c != nil {
+		wasCached = c.Peek(engine.CacheKey(req.Program, names, true))
+	}
+
+	opts := harness.Options{
+		Seed:      req.Seed,
+		Trials:    req.Trials,
+		Parallel:  1, // sessions are the unit of concurrency, not trials
+		MaxSteps:  min(orDefault(req.MaxSteps, s.cfg.MaxSteps), s.cfg.MaxSteps),
+		Detectors: names,
+	}
+	timeout := s.cfg.MaxTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	runner := &harness.Runner{Opts: opts, Engine: s.eng, Logf: s.cfg.Logf}
+	start := time.Now()
+	pr, err := runner.RunProgramContext(ctx, workloads.Workload{
+		Name: req.Name, Suite: "service", Source: req.Program,
+	})
+	if err != nil {
+		status, code := classify(err)
+		s.cfg.Logf("service: %s %s in %v: %v", req.Name, code, time.Since(start).Round(time.Millisecond), err)
+		writeError(w, status, code, err)
+		return
+	}
+	rep := harness.NewReport(opts, []*harness.ProgramResult{pr})
+
+	w.Header().Set("X-Bigfoot-Cache", cacheLabel(wasCached))
+	s.cfg.Logf("service: %s ok in %v (cache %s, %d detectors)",
+		req.Name, time.Since(start).Round(time.Millisecond), cacheLabel(wasCached), len(names))
+	w.Header().Set("Content-Type", "application/json")
+	if err := rep.WriteJSON(w); err != nil {
+		// Headers are gone; all we can do is log (mirrors bfbench exit 3).
+		s.cfg.Logf("service: %s: write report: %v", req.Name, err)
+	}
+}
+
+// decodeRun parses and validates the request body.
+func (s *Server) decodeRun(r *http.Request) (*RunRequest, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("request body: %w", err)
+	}
+	if req.Program == "" {
+		return nil, errors.New("request has no program")
+	}
+	if req.Name == "" {
+		req.Name = "program"
+	}
+	if req.Trials < 0 {
+		return nil, errors.New("trials must be >= 0")
+	}
+	return &req, nil
+}
+
+// classify maps a session error onto the audited (status, code) pairs:
+// budget exhaustion is separated from program faults, and malformed
+// variant sets (already rejected above, but reachable through the
+// harness for defense in depth) stay usage errors.
+func classify(err error) (int, string) {
+	var usage *engine.UsageError
+	switch {
+	case engine.IsBudget(err):
+		return http.StatusRequestTimeout, "budget"
+	case errors.As(err, &usage):
+		return http.StatusBadRequest, "usage"
+	default:
+		// Parse/compile failures (engine.BuildError) and runtime faults
+		// (assertion, deadlock) are the program's fault, not the service's.
+		return http.StatusUnprocessableEntity, "program"
+	}
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func orDefault(v, def uint64) uint64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+}

@@ -1,0 +1,364 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bigfoot/internal/harness"
+)
+
+const racy = `class Counter { field hits; }
+setup {
+  c = new Counter;
+}
+thread {
+  for (i = 0; i < 60; i = i + 1) {
+    h = c.hits;
+    c.hits = h + 1;
+  }
+}
+thread {
+  for (i = 0; i < 60; i = i + 1) {
+    h = c.hits;
+    c.hits = h + 1;
+  }
+}
+`
+
+const clean = `class Cell { field v; }
+setup {
+  a = new Cell;
+  b = new Cell;
+}
+thread {
+  for (i = 0; i < 40; i = i + 1) { a.v = i; }
+}
+thread {
+  for (i = 0; i < 40; i = i + 1) { b.v = i; }
+}
+`
+
+const spinner = `class C { field v; }
+setup { c = new C; }
+thread {
+  for (i = 0; i < 10000000; i = i + 1) { c.v = i; }
+}
+`
+
+const crashing = `setup { assert 1 == 2; }`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postRun(t *testing.T, url string, req RunRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func errorCode(t *testing.T, data []byte) string {
+	t.Helper()
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatalf("error body is not an ErrorResponse: %v\n%s", err, data)
+	}
+	return er.Code
+}
+
+// TestRunEndpoint: a well-formed submission returns the versioned
+// harness.Report JSON, readable by the same reader bfbench uses.
+func TestRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postRun(t, ts.URL, RunRequest{Name: "racy", Program: racy, Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Bigfoot-Cache"); got != "miss" {
+		t.Errorf("first submission cache header = %q, want miss", got)
+	}
+	rep, err := harness.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("response is not a valid report: %v", err)
+	}
+	if len(rep.Programs) != 1 || rep.Programs[0].Name != "racy" {
+		t.Fatalf("report shape: %+v", rep.Programs)
+	}
+	pr := rep.Programs[0]
+	if len(pr.Detectors) != 5 {
+		t.Errorf("default run must evaluate all five detectors, got %d", len(pr.Detectors))
+	}
+	for name, dr := range pr.Detectors {
+		if dr.Races == 0 {
+			t.Errorf("%s missed the race", name)
+		}
+	}
+
+	// Resubmission hits the artifact cache.
+	resp, _ = postRun(t, ts.URL, RunRequest{Name: "racy", Program: racy, Seed: 1})
+	if got := resp.Header.Get("X-Bigfoot-Cache"); got != "hit" {
+		t.Errorf("resubmission cache header = %q, want hit", got)
+	}
+}
+
+// TestDetectorSelection: a subset request evaluates exactly that set.
+func TestDetectorSelection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postRun(t, ts.URL, RunRequest{Program: clean, Detectors: []string{"BF", "FT"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	rep, err := harness.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := rep.Programs[0].Detectors
+	if len(dets) != 2 || dets["FT"] == nil || dets["BF"] == nil {
+		t.Fatalf("got detectors %v, want exactly FT and BF", dets)
+	}
+}
+
+// TestErrorCodes pins the audited error table: usage 400, program 422,
+// budget 408 — mirroring bfbench's exit-code discipline.
+func TestErrorCodes(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxTimeout: 2 * time.Second})
+	cases := []struct {
+		name   string
+		req    RunRequest
+		status int
+		code   string
+	}{
+		{"empty program", RunRequest{}, http.StatusBadRequest, "usage"},
+		{"unknown detector", RunRequest{Program: clean, Detectors: []string{"ZZ"}}, http.StatusBadRequest, "usage"},
+		{"parse error", RunRequest{Program: "class {"}, http.StatusUnprocessableEntity, "program"},
+		{"runtime fault", RunRequest{Program: crashing}, http.StatusUnprocessableEntity, "program"},
+		{"step budget", RunRequest{Program: spinner, MaxSteps: 1000}, http.StatusRequestTimeout, "budget"},
+		{"wall budget", RunRequest{Program: spinner, TimeoutMS: 30}, http.StatusRequestTimeout, "budget"},
+	}
+	for _, tc := range cases {
+		resp, data := postRun(t, ts.URL, tc.req)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, data)
+			continue
+		}
+		if code := errorCode(t, data); code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, code, tc.code)
+		}
+	}
+
+	// Malformed JSON is a usage error too.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, data) != "usage" {
+		t.Errorf("malformed body: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestStatsEndpoint: cache counters are surfaced and move with traffic.
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postRun(t, ts.URL, RunRequest{Program: clean})
+	postRun(t, ts.URL, RunRequest{Program: clean})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits == 0 || st.Cache.Misses == 0 {
+		t.Errorf("cache counters did not move: %+v", st.Cache)
+	}
+	if st.Sessions.Completed != 2 {
+		t.Errorf("completed sessions = %d, want 2", st.Sessions.Completed)
+	}
+}
+
+// TestGracefulDrain: draining lets the in-flight session finish, while
+// new sessions are refused with 503/draining.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxTimeout: 30 * time.Second})
+
+	started := make(chan struct{})
+	result := make(chan int, 1)
+	go func() {
+		close(started)
+		resp, _ := postRun(t, ts.URL, RunRequest{Program: racy})
+		result <- resp.StatusCode
+	}()
+	<-started
+	// Wait until the session is admitted before draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.active.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain did not complete: %v", err)
+	}
+	select {
+	case code := <-result:
+		if code != http.StatusOK {
+			t.Errorf("in-flight session finished with %d, want 200", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight session never finished")
+	}
+
+	resp, data := postRun(t, ts.URL, RunRequest{Program: clean})
+	if resp.StatusCode != http.StatusServiceUnavailable || errorCode(t, data) != "draining" {
+		t.Errorf("post-drain request: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestLoadConcurrentMixed is the PR's acceptance load test: hundreds of
+// concurrent requests with mixed programs, detector subsets, and seeds.
+// Every response must be 200 or an audited budget error; per-(program,
+// seed, detectors) report signatures must be identical across load-
+// generator concurrency levels; the artifact cache must take hits; and
+// a graceful drain must complete afterwards with zero sessions lost.
+func TestLoadConcurrentMixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	s, ts := newTestServer(t, Config{MaxTimeout: 60 * time.Second})
+
+	type reqCase struct {
+		key string
+		req RunRequest
+	}
+	programs := []struct {
+		name, src string
+	}{{"racy", racy}, {"clean", clean}}
+	detectorSets := [][]string{nil, {"FT", "BF"}, {"BF"}, {"RC", "SC"}}
+	var cases []reqCase
+	for _, p := range programs {
+		for di, det := range detectorSets {
+			for seed := int64(0); seed < 3; seed++ {
+				cases = append(cases, reqCase{
+					key: fmt.Sprintf("%s/%d/%d", p.name, di, seed),
+					req: RunRequest{Name: p.name, Program: p.src, Detectors: det, Seed: seed},
+				})
+			}
+		}
+	}
+	// Budget-bound requests ride along: they must fail with exactly the
+	// audited budget code and nothing else.
+	budget := RunRequest{Name: "spin", Program: spinner, MaxSteps: 2000}
+
+	const perLevel = 120 // two levels -> 240 total concurrent requests
+	signatures := make(map[string]string, len(cases))
+
+	for round, concurrency := range []int{8, 24} {
+		sem := make(chan struct{}, concurrency)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		nonBudgetErrs := 0
+		budgetOK := 0
+		for i := 0; i < perLevel; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if i%10 == 9 { // every tenth request exhausts its budget
+					resp, data := postRun(t, ts.URL, budget)
+					mu.Lock()
+					defer mu.Unlock()
+					if resp.StatusCode == http.StatusRequestTimeout && errorCode(t, data) == "budget" {
+						budgetOK++
+					} else {
+						nonBudgetErrs++
+						t.Errorf("budget request: status %d body %.200s", resp.StatusCode, data)
+					}
+					return
+				}
+				tc := cases[i%len(cases)]
+				resp, data := postRun(t, ts.URL, tc.req)
+				if resp.StatusCode != http.StatusOK {
+					mu.Lock()
+					nonBudgetErrs++
+					t.Errorf("%s: status %d body %.200s", tc.key, resp.StatusCode, data)
+					mu.Unlock()
+					return
+				}
+				rep, err := harness.ReadJSON(bytes.NewReader(data))
+				if err != nil {
+					mu.Lock()
+					nonBudgetErrs++
+					t.Errorf("%s: unreadable report: %v", tc.key, err)
+					mu.Unlock()
+					return
+				}
+				sig := rep.Signature()
+				mu.Lock()
+				defer mu.Unlock()
+				if prev, ok := signatures[tc.key]; ok {
+					if prev != sig {
+						t.Errorf("%s: signature diverged across concurrency levels:\n--- before\n%s\n--- now\n%s", tc.key, prev, sig)
+					}
+				} else {
+					signatures[tc.key] = sig
+				}
+			}(i)
+		}
+		wg.Wait()
+		if nonBudgetErrs != 0 {
+			t.Fatalf("round %d: %d non-budget errors", round, nonBudgetErrs)
+		}
+		if budgetOK == 0 {
+			t.Errorf("round %d: no budget request exercised the audited path", round)
+		}
+	}
+
+	if len(signatures) != len(cases) {
+		t.Errorf("covered %d distinct request shapes, want %d", len(signatures), len(cases))
+	}
+	st := s.Engine().Cache().Stats()
+	if st.Hits == 0 {
+		t.Errorf("warm cache took no hits under load: %+v", st)
+	}
+	t.Logf("load: %d requests, cache %v", 2*perLevel, st)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("drain after load: %v", err)
+	}
+	if a := s.active.Load(); a != 0 {
+		t.Errorf("%d sessions still active after drain", a)
+	}
+}
