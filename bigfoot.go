@@ -176,6 +176,13 @@ type RunConfig struct {
 	// (footprint commits, array refinements, shadow transitions).  A nil
 	// Trace leaves the untraced fast path untouched.
 	Trace *Recorder
+	// Record, when non-nil, persists the execution's hook stream in the
+	// compressed on-disk trace format for offline replay (ReplayTrace).
+	// The caller owns the writer (open/close the file).
+	Record io.Writer
+	// RecordName labels the program in the recorded trace's header
+	// (default "program").
+	RecordName string
 	// DebugCensus cross-checks the detector's exact incremental
 	// space census against a full shadow walk at every synchronization
 	// operation, panicking on mismatch.  Diagnostic only: the walk
@@ -249,17 +256,35 @@ func (c *Compiled) Run(cfg RunConfig) (*Report, error) {
 // context's error, so callers can bound or interrupt a detected run
 // without dropping to internal packages.
 func (c *Compiled) RunContext(ctx context.Context, cfg RunConfig) (*Report, error) {
-	out, err := defaultEngine.Run(ctx, c.variant, engine.RunSpec{
+	spec := engine.RunSpec{
 		DetectorName: c.Mode.String(),
 		Seed:         cfg.Seed,
 		MaxSteps:     cfg.MaxSteps,
 		Out:          cfg.Out,
 		Trace:        cfg.Trace,
 		DebugCensus:  cfg.DebugCensus,
-	})
+	}
+	if cfg.Record != nil {
+		spec.Record = cfg.Record
+		name := cfg.RecordName
+		if name == "" {
+			name = "program"
+		}
+		spec.RecordMeta = engine.RecordMeta{
+			Program: name,
+			Bodies:  c.Stats.BodiesAnalyzed,
+			Placed:  c.Stats.ChecksPlaced,
+		}
+	}
+	out, err := defaultEngine.Run(ctx, c.variant, spec)
 	if err != nil {
 		return nil, err
 	}
+	return reportOf(out), nil
+}
+
+// reportOf converts an engine outcome into the facade report.
+func reportOf(out *engine.Outcome) *Report {
 	rep := &Report{
 		Accesses:     out.Counters.Accesses(),
 		Checks:       out.Counters.CheckItems,
@@ -280,7 +305,24 @@ func (c *Compiled) RunContext(ctx context.Context, cfg RunConfig) (*Report, erro
 			CurWrite:  r.CurWrite,
 		})
 	}
-	return rep, nil
+	return rep
+}
+
+// ReplayTrace re-analyzes a recorded trace (RunConfig.Record or the
+// CLI's -trace-rec) without re-interpreting the program: the persisted
+// hook stream is fed through the recorded variant's detector, exactly
+// reproducing the live run's deterministic results.  It returns the
+// report plus the variant name from the trace header ("FT".."BF", or
+// "base" for an uninstrumented recording, which yields counters only).
+func ReplayTrace(r io.Reader) (*Report, string, error) {
+	res, err := engine.Replay(r, engine.ReplaySpec{})
+	if err != nil {
+		return nil, "", err
+	}
+	if res.RunErr != nil {
+		return nil, res.Header.Variant, res.RunErr
+	}
+	return reportOf(res.Outcome), res.Header.Variant, nil
 }
 
 // Run executes the instrumented program under its mode's detector,

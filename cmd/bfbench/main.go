@@ -7,11 +7,24 @@
 //	bfbench [-figure2] [-figure8] [-table1] [-table2] [-all]
 //	        [-scale N] [-threads T] [-trials K] [-seed S] [-program name]
 //	        [-parallel N] [-timeout D] [-explain-races]
+//	        [-pipeline N] [-trace-rec dir] [-signature path]
 //	        [-json path] [-diff old.json] [-diff-ignore m1,m2] [-tolerance F]
 //	        [-json-check path]
 //	        [-cpuprofile f] [-memprofile f] [-trace f]
+//	bfbench -trace-replay dir [-signature path] [-json path] ...
 //	bfbench -fuzz [-fuzz-seeds N] [-fuzz-sched K] [-fuzz-out f] [-seed S]
 //	        [-shard i/n] [-q]
+//
+// -pipeline N runs every execution's detection asynchronously (events
+// chunked N at a time to a detector goroutine over a bounded channel;
+// N < 0 picks the default chunk size) — deterministic results are
+// byte-identical to the synchronous default.  -trace-rec records trial
+// 0 of every configuration into dir as compressed .bftrace files;
+// -trace-replay re-analyzes such a directory offline (no
+// interpretation) and renders/serializes the reconstructed report
+// through the same views.  -signature writes the report's deterministic
+// signature to a file, so live and replayed runs can be compared
+// byte-for-byte (the CI trace-replay job does exactly that).
 //
 // -fuzz runs a differential-fuzz campaign instead of the evaluation:
 // N generated programs (bfgen, seeded from -seed) each swept over K
@@ -83,6 +96,10 @@ func run() int {
 		fuzzSched = flag.Int("fuzz-sched", 3, "scheduler seeds swept per generated program")
 		fuzzOut   = flag.String("fuzz-out", "fuzz-repro.bfj", "write the shrunk repro of a -fuzz disagreement here")
 		fuzzShard = flag.String("shard", "", "check only shard i/n of the -fuzz program space (deterministic partition; all hosts use the same -seed)")
+		pipeline  = flag.Int("pipeline", 0, "async detection pipeline chunk size (0 = synchronous, <0 = default size)")
+		traceRec  = flag.String("trace-rec", "", "record trial 0 of every configuration as compressed traces into this directory")
+		traceRep  = flag.String("trace-replay", "", "replay a -trace-rec directory offline instead of running workloads")
+		sigOut    = flag.String("signature", "", "write the report's deterministic signature to this file")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -144,6 +161,18 @@ func run() int {
 		Seed:     *seed,
 		Trials:   *trials,
 		Parallel: *parallel,
+		Pipeline: *pipeline,
+	}
+	if *traceRec != "" {
+		if *traceRep != "" {
+			fmt.Fprintln(os.Stderr, "bfbench: -trace-rec and -trace-replay are mutually exclusive")
+			return 2
+		}
+		if err := os.MkdirAll(*traceRec, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+			return 2
+		}
+		opts.TraceDir = *traceRec
 	}
 	r := &harness.Runner{Opts: opts}
 	if !*quiet {
@@ -159,7 +188,17 @@ func run() int {
 
 	var rep *harness.Report
 	var runErr error
-	if *program != "" {
+	switch {
+	case *traceRep != "":
+		// Offline re-analysis: rebuild the report from recorded traces
+		// without interpreting anything.
+		var err error
+		rep, err = harness.ReplayDir(*traceRep, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+			return 3
+		}
+	case *program != "":
 		w, ok := workloads.ByName(*program, opts.Scale)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown program %q\n", *program)
@@ -172,7 +211,7 @@ func run() int {
 			rs = append(rs, pr)
 		}
 		rep = harness.NewReport(opts, rs)
-	} else {
+	default:
 		rep, runErr = r.RunReport(ctx)
 	}
 	code := 0
@@ -203,6 +242,12 @@ func run() int {
 		}
 	}
 
+	if *sigOut != "" {
+		if err := os.WriteFile(*sigOut, []byte(rep.Signature()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: write %s: %v\n", *sigOut, err)
+			return 3
+		}
+	}
 	if *jsonOut != "" {
 		if err := rep.WriteJSONFile(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "bfbench: write %s: %v\n", *jsonOut, err)

@@ -5,8 +5,10 @@
 //
 //	bigfoot [-mode bigfoot|fasttrack|redcard|slimstate|slimcard]
 //	        [-seed N] [-runs K] [-show] [-stats]
-//	        [-trace-out f.json] [-explain-races] [-debug-census]
-//	        [-cpuprofile f] [-memprofile f] [-trace f] file.bfj
+//	        [-trace-out f.json] [-trace-rec f.bftrace] [-explain-races]
+//	        [-debug-census] [-cpuprofile f] [-memprofile f] [-trace f]
+//	        file.bfj
+//	bigfoot -trace-replay f.bftrace [-stats] [-explain-races]
 //
 // -show prints the instrumented program (with placed checks) instead of
 // running it.  -runs K explores K consecutive schedule seeds starting at
@@ -14,12 +16,17 @@
 // run; races are deduplicated across seeds.  -trace-out records the
 // first seed's execution and writes it as Chrome trace_event JSON (open
 // in ui.perfetto.dev or chrome://tracing; one lane per thread).
-// -explain-races prints a per-race provenance block with both access
-// sites.  -debug-census validates the detector's exact incremental
-// space census against a full shadow walk at every synchronization
-// operation (diagnostic only — the walk is the cost the incremental
-// census removed).  The profiling flags capture runtime/pprof and
-// runtime/trace output for `go tool pprof` / `go tool trace`.
+// -trace-rec records the first seed's execution in the persistent
+// compressed trace format; -trace-replay re-analyzes such a recording
+// through the recorded detector without re-running the program (no
+// .bfj argument needed), printing the same race report the live run
+// printed.  -explain-races prints a per-race provenance block with both
+// access sites.  -debug-census validates the detector's exact
+// incremental space census against a full shadow walk at every
+// synchronization operation (diagnostic only — the walk is the cost the
+// incremental census removed).  The profiling flags capture
+// runtime/pprof and runtime/trace output for `go tool pprof` /
+// `go tool trace`.
 package main
 
 import (
@@ -61,12 +68,21 @@ func run() int {
 		show     = flag.Bool("show", false, "print the instrumented program and exit")
 		stats    = flag.Bool("stats", false, "print check/shadow statistics")
 		traceOut = flag.String("trace-out", "", "record the first seed's execution as Chrome trace_event JSON to this file")
+		traceRec = flag.String("trace-rec", "", "record the first seed's execution as a compressed .bftrace to this file")
+		traceRep = flag.String("trace-replay", "", "replay a recorded .bftrace through its detector instead of running a program")
 		explain  = flag.Bool("explain-races", false, "print per-race provenance (both access sites)")
 		debugCen = flag.Bool("debug-census", false, "cross-check the exact incremental space census against a full shadow walk at every sync op (slow; panics on mismatch)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if *traceRep != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: bigfoot -trace-replay f.bftrace (no program argument)")
+			return 2
+		}
+		return replayTrace(*traceRep, *stats, *explain)
+	}
 	if flag.NArg() != 1 || *runs < 1 {
 		fmt.Fprintln(os.Stderr, "usage: bigfoot [-mode M] [-seed N] [-runs K] [-show] [-stats] file.bfj")
 		return 2
@@ -113,13 +129,34 @@ func run() int {
 		s := *seed + int64(k)
 		var out io.Writer
 		var rec *bigfoot.Recorder
+		var recFile *os.File
 		if k == 0 {
 			out = os.Stdout // print output once; later seeds only hunt races
 			if *traceOut != "" {
 				rec = bigfoot.NewRecorder(0) // trace the first seed only
 			}
+			if *traceRec != "" {
+				recFile, err = os.Create(*traceRec)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bigfoot: %v\n", err)
+					return 1
+				}
+			}
 		}
-		rep, err := compiled.Run(bigfoot.RunConfig{Seed: s, Out: out, Trace: rec, DebugCensus: *debugCen})
+		cfg := bigfoot.RunConfig{Seed: s, Out: out, Trace: rec, DebugCensus: *debugCen}
+		if recFile != nil {
+			cfg.Record = recFile
+			cfg.RecordName = strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".bfj")
+		}
+		rep, err := compiled.Run(cfg)
+		if recFile != nil {
+			if cerr := recFile.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "trace-rec: seed %d -> %s\n", s, *traceRec)
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "runtime error (seed %d): %v\n", s, err)
 			return 1
@@ -150,6 +187,40 @@ func run() int {
 	for _, r := range races {
 		fmt.Fprintln(os.Stderr, raceLine(file, r))
 		if *explain {
+			explainRace(os.Stderr, file, r)
+		}
+	}
+	return 3
+}
+
+// replayTrace re-analyzes a recorded .bftrace offline: the persisted
+// hook stream runs through the recorded detector, reproducing the live
+// run's races and statistics without re-interpreting the program.
+// Exit codes mirror a live run: 0 clean, 1 replay failure, 3 races.
+func replayTrace(path string, stats, explain bool) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer f.Close()
+	rep, variant, err := bigfoot.ReplayTrace(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bigfoot: replay %s: %v\n", path, err)
+		return 1
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "variant=%s accesses=%d checks=%d ratio=%.3f shadowOps=%d shadowWords=%d\n",
+			variant, rep.Accesses, rep.Checks, rep.CheckRatio, rep.ShadowOps, rep.ShadowWords)
+	}
+	if len(rep.Races) == 0 {
+		fmt.Fprintln(os.Stderr, "no races detected")
+		return 0
+	}
+	file := filepath.Base(path)
+	for _, r := range rep.Races {
+		fmt.Fprintln(os.Stderr, raceLine(file, r))
+		if explain {
 			explainRace(os.Stderr, file, r)
 		}
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	bigfootd [-addr :8347] [-cache 64] [-max-steps N] [-max-timeout D]
-//	         [-v]
+//	         [-trace-dir DIR] [-v]
 //
 // Endpoints:
 //
@@ -13,6 +13,11 @@
 //	                -> harness.Report JSON (X-Bigfoot-Cache: hit|miss)
 //	GET  /v1/stats  -> artifact-cache and session counters
 //	GET  /healthz   -> ok
+//
+// With -trace-dir every run is recorded into the persistent compressed
+// trace format under DIR/<source-hash>-s<seed>/ (one .bftrace per
+// variant plus the base execution); the response carries the label in
+// an X-Bigfoot-Trace header so clients can find their recording.
 //
 // Compiled artifacts are cached (bounded LRU, content-addressed), so
 // resubmitting a program pays no parse/instrument/compile cost.  On
@@ -50,6 +55,7 @@ func run() int {
 		maxSteps   = flag.Uint64("max-steps", service.DefaultMaxSteps, "per-execution step budget cap")
 		maxTimeout = flag.Duration("max-timeout", service.DefaultTimeout, "per-session wall-clock budget cap")
 		drainFor   = flag.Duration("drain-timeout", time.Minute, "grace period for in-flight sessions on shutdown")
+		traceDir   = flag.String("trace-dir", "", "record every run as compressed traces under this directory")
 		verbose    = flag.Bool("v", false, "log every session and cache event")
 	)
 	flag.Parse()
@@ -69,6 +75,7 @@ func run() int {
 		CacheSize:  *cacheSize,
 		MaxSteps:   *maxSteps,
 		MaxTimeout: *maxTimeout,
+		TraceDir:   *traceDir,
 		Logf:       logf,
 	})
 

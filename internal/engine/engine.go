@@ -22,6 +22,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"time"
 
@@ -39,6 +40,10 @@ import (
 // identifiers; clients map their own naming (facade modes, service
 // request fields) onto them.
 var VariantNames = []string{"FT", "RC", "SS", "SC", "BF"}
+
+// BaseVariant labels the uninstrumented configuration in recorded trace
+// headers (it is not a detector variant name).
+const BaseVariant = "base"
 
 // IsVariantName reports whether name is one of the five canonical
 // detector variant names.
@@ -393,12 +398,39 @@ type RunSpec struct {
 	Out io.Writer
 	// Trace, when non-nil, records the execution's event stream.
 	Trace *trace.Recorder
+	// Record, when non-nil, persists the execution's hook stream in the
+	// compressed trace format (trace.Writer) for offline replay.  The
+	// engine writes header, chunks, and footer; the caller owns the
+	// underlying writer (open/close the file).
+	Record io.Writer
+	// RecordMeta labels a recorded trace's header (ignored when Record
+	// is nil).
+	RecordMeta RecordMeta
+	// PipelineChunk, when > 0, decouples detection from interpretation:
+	// hook events are batched into chunks of this many events and
+	// consumed by a detector goroutine behind a bounded channel
+	// (backpressure).  Deterministic counters and signatures are
+	// byte-identical to the synchronous path (0).  Negative uses the
+	// default chunk size.
+	PipelineChunk int
 	// DebugCensus cross-checks the incremental space census (slow;
 	// diagnostic only).
 	DebugCensus bool
 	// CountChecks tallies executed field vs. array check items into the
 	// outcome (the Figure 8 split).
 	CountChecks bool
+}
+
+// RecordMeta is the workload identity stamped into a recorded trace's
+// header alongside the variant and budgets.
+type RecordMeta struct {
+	// Program and Suite label the workload.
+	Program string
+	Suite   string
+	// Bodies and Placed are the static placement stats (methods
+	// analyzed, BigFoot checks inserted) the harness reports.
+	Bodies int
+	Placed int
 }
 
 // Outcome is the structured result of one execution: wall-clock cost,
@@ -473,7 +505,43 @@ func (e *Engine) Run(ctx context.Context, v *Variant, spec RunSpec) (*Outcome, e
 		hook = trace.Tee(spec.Trace, hook)
 		d.SetObserver(spec.Trace)
 	}
+	var tw *trace.Writer
+	if spec.Record != nil {
+		var werr error
+		tw, werr = trace.NewWriter(spec.Record, trace.Header{
+			Program:  spec.RecordMeta.Program,
+			Suite:    spec.RecordMeta.Suite,
+			Variant:  v.Name,
+			ProxyRep: v.Proxies.Pairs(),
+			Seed:     spec.Seed,
+			MaxSteps: spec.MaxSteps,
+			Bodies:   spec.RecordMeta.Bodies,
+			Placed:   spec.RecordMeta.Placed,
+		})
+		if werr != nil {
+			return &Outcome{Variant: v.Name}, fmt.Errorf("trace record: %w", werr)
+		}
+		// Writer first: the persisted stream is the pristine hook order,
+		// ahead of recorder and detector side effects.
+		hook = trace.Tee(tw, hook)
+	}
+	var pl *trace.Pipeline
+	if spec.PipelineChunk != 0 {
+		pl = trace.NewPipeline(hook, spec.PipelineChunk)
+		hook = pl
+	}
 	out, err := e.exec(ctx, v.Compiled, hook, spec)
+	if pl != nil {
+		// Drain explicitly: on error paths the interpreter never calls
+		// Finish, and downstream state (detector stats, trace writer)
+		// must be complete before we read it below.
+		pl.Close()
+	}
+	if tw != nil {
+		if werr := tw.Close(out.Counters, err); werr != nil && err == nil {
+			err = fmt.Errorf("trace record: %w", werr)
+		}
+	}
 	out.Variant = v.Name
 	out.ShadowOps = d.Stats.ShadowOps
 	out.FootprintOps = d.Stats.FootprintOps
@@ -487,13 +555,45 @@ func (e *Engine) Run(ctx context.Context, v *Variant, spec RunSpec) (*Outcome, e
 }
 
 // RunBase executes the uninstrumented base artifact (no detector) under
-// the same budget enforcement as Run.
+// the same budget enforcement as Run.  Recorded base traces carry
+// variant "base"; replaying one reproduces the base counters without
+// re-interpreting.
 func (e *Engine) RunBase(ctx context.Context, base *interp.Compiled, spec RunSpec) (*Outcome, error) {
 	var hook interp.Hook = interp.NopHook{}
 	if spec.Trace != nil {
 		hook = trace.Tee(spec.Trace, hook)
 	}
+	var tw *trace.Writer
+	if spec.Record != nil {
+		var werr error
+		tw, werr = trace.NewWriter(spec.Record, trace.Header{
+			Program:  spec.RecordMeta.Program,
+			Suite:    spec.RecordMeta.Suite,
+			Variant:  BaseVariant,
+			Seed:     spec.Seed,
+			MaxSteps: spec.MaxSteps,
+			Bodies:   spec.RecordMeta.Bodies,
+			Placed:   spec.RecordMeta.Placed,
+		})
+		if werr != nil {
+			return &Outcome{}, fmt.Errorf("trace record: %w", werr)
+		}
+		hook = trace.Tee(tw, hook)
+	}
+	var pl *trace.Pipeline
+	if spec.PipelineChunk != 0 {
+		pl = trace.NewPipeline(hook, spec.PipelineChunk)
+		hook = pl
+	}
 	out, err := e.exec(ctx, base, hook, spec)
+	if pl != nil {
+		pl.Close()
+	}
+	if tw != nil {
+		if werr := tw.Close(out.Counters, err); werr != nil && err == nil {
+			err = fmt.Errorf("trace record: %w", werr)
+		}
+	}
 	return out, err
 }
 

@@ -33,6 +33,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +42,7 @@ import (
 
 	"bigfoot/internal/detector"
 	"bigfoot/internal/engine"
+	"bigfoot/internal/interp"
 	"bigfoot/internal/workloads"
 )
 
@@ -105,6 +108,29 @@ type DetectorResult struct {
 	Races        int            `json:"races"`
 	ArrayModes   map[string]int `json:"array_modes,omitempty"`
 	RaceReports  []RaceReport   `json:"race_reports,omitempty"` // schema v2
+	// EventsPerSec is the macro detection throughput: hook events
+	// consumed (accesses + check items + sync ops) divided by the
+	// configuration's minimum trial time.  Wall-clock derived, so like
+	// Time/WallOverhead it is excluded from Signature and Diff.  For
+	// replayed reports (ReplayDir) the divisor is the replay's own
+	// detection time — offline analysis throughput.  Schema v3.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// hookEvents counts the hook events a detector consumed: worker heap
+// accesses, executed check items, and synchronization operations — the
+// stream the pipeline batches and the trace format persists.
+func hookEvents(c interp.Counters) uint64 {
+	return c.Accesses() + c.CheckItems + c.SyncOps
+}
+
+// eventsPerSec converts an event count over a duration into a rate (0
+// when the clock read 0, which only happens on empty runs).
+func eventsPerSec(events uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(events) / d.Seconds()
 }
 
 // modelOverhead computes the cost-model overhead of one detector run
@@ -176,6 +202,18 @@ type Options struct {
 	// that compare detectors (Figure 2, Table 1, ...) require the full
 	// set; Signature and the JSON report render any subset.
 	Detectors []string
+	// TraceDir, when non-empty, records trial 0 of every (program,
+	// configuration) execution as a compressed trace file
+	// <dir>/<program>.<variant>.bftrace (variant "base" for the
+	// uninstrumented run), for offline re-analysis via ReplayDir.  The
+	// directory must exist.
+	TraceDir string
+	// Pipeline, when non-zero, runs every execution's detection
+	// asynchronously: hook events are chunked (this many events per
+	// chunk; negative = default size) to a consumer goroutine behind a
+	// bounded channel.  All deterministic counters — and Signature — are
+	// identical to the synchronous default (0).
+	Pipeline int
 }
 
 // DefaultOptions returns the standard evaluation configuration.
@@ -285,20 +323,49 @@ func (r *Runner) runJob(ctx context.Context, st *programState, v, trial int) {
 		slot.err = err
 		return
 	}
-	spec := engine.RunSpec{Seed: r.Opts.Seed, MaxSteps: r.Opts.MaxSteps}
+	spec := engine.RunSpec{
+		Seed:          r.Opts.Seed,
+		MaxSteps:      r.Opts.MaxSteps,
+		PipelineChunk: r.Opts.Pipeline,
+	}
+	variantName := engine.BaseVariant
+	if v > 0 {
+		variantName = st.art.Variants[v-1].Name
+	}
+	var rec *os.File
+	if r.Opts.TraceDir != "" && trial == 0 {
+		path := filepath.Join(r.Opts.TraceDir, fmt.Sprintf("%s.%s.bftrace", st.w.Name, variantName))
+		f, err := os.Create(path)
+		if err != nil {
+			slot.err = fmt.Errorf("%s/%s: trace record: %w", st.w.Name, variantName, err)
+			return
+		}
+		rec = f
+		spec.Record = f
+		spec.RecordMeta = engine.RecordMeta{
+			Program: st.w.Name,
+			Suite:   st.w.Suite,
+			Bodies:  st.res.MethodsAnalyzed,
+			Placed:  st.res.ChecksInserted,
+		}
+	}
 	var err error
 	if v == 0 {
 		slot.out, err = r.engine().RunBase(ctx, st.art.Base, spec)
 		if err != nil {
 			slot.err = fmt.Errorf("%s: base run: %w", st.w.Name, err)
 		}
-		return
+	} else {
+		spec.CountChecks = true
+		slot.out, err = r.engine().Run(ctx, st.art.Variants[v-1], spec)
+		if err != nil {
+			slot.err = fmt.Errorf("%s/%s: %w", st.w.Name, variantName, err)
+		}
 	}
-	spec.CountChecks = true
-	variant := st.art.Variants[v-1]
-	slot.out, err = r.engine().Run(ctx, variant, spec)
-	if err != nil {
-		slot.err = fmt.Errorf("%s/%s: %w", st.w.Name, variant.Name, err)
+	if rec != nil {
+		if cerr := rec.Close(); cerr != nil && slot.err == nil {
+			slot.err = fmt.Errorf("%s/%s: trace record: %w", st.w.Name, variantName, cerr)
+		}
 	}
 }
 
@@ -350,6 +417,7 @@ func (st *programState) finalize() {
 			Races:        len(first.Races),
 			ArrayModes:   first.ArrayModes,
 			RaceReports:  raceReports(first.Races),
+			EventsPerSec: eventsPerSec(hookEvents(dc), dt),
 		}
 		res.Detectors[v.Name] = dr
 		switch v.Name {

@@ -23,7 +23,10 @@ import (
 //	   sites with positions).  Purely additive, so v1 reports are still
 //	   readable (see minReadVersion); v2 readers see no race reports in
 //	   a v1 file.
-const ReportVersion = 2
+//	3: adds DetectorResult.EventsPerSec (macro detection throughput).
+//	   Additive and wall-clock derived (not diffed), so v1/v2 reports
+//	   remain readable and comparable.
+const ReportVersion = 3
 
 // minReadVersion is the oldest schema ReadJSON still accepts.  Every
 // version in [minReadVersion, ReportVersion] is a subset of the current

@@ -75,6 +75,43 @@ func (t *Table) GroupsOf(fields []string) []string {
 	return out
 }
 
+// Pairs returns the field→representative mapping as a plain map (a
+// copy), for serialization — trace headers store it so offline replay
+// reconstructs the exact shadow grouping.  A nil table returns nil.
+func (t *Table) Pairs() map[string]string {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]string, len(t.rep))
+	for f, r := range t.rep {
+		out[f] = r
+	}
+	return out
+}
+
+// FromPairs reconstructs a Table from a serialized field→representative
+// mapping, recomputing the group statistics.  nil or empty input
+// returns nil (no proxies), matching a variant built without proxy
+// analysis.
+func FromPairs(rep map[string]string) *Table {
+	if len(rep) == 0 {
+		return nil
+	}
+	t := &Table{rep: make(map[string]string, len(rep))}
+	sizes := map[string]int{}
+	for f, r := range rep {
+		t.rep[f] = r
+		sizes[r]++
+	}
+	for _, n := range sizes {
+		if n > 1 {
+			t.GroupCount++
+			t.FieldsCompressed += n - 1
+		}
+	}
+	return t
+}
+
 // Analyze runs the single pass over all checks of an instrumented
 // program (§4: "identifying field proxies requires a single pass over
 // all checks").

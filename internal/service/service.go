@@ -12,6 +12,7 @@
 //	1  workload failure     422 Unprocessable      "program"
 //	1  timeout/step budget  408 Request Timeout    "budget"
 //	2  usage error          400 Bad Request        "usage"
+//	—  oversized body       413 Too Large          "too-large"
 //	3  report I/O           500 Internal           "internal"
 //	—  draining shutdown    503 Unavailable        "draining"
 //
@@ -32,6 +33,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +69,13 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes bounds the request body; 0 means DefaultMaxBody.
 	MaxBodyBytes int64
+	// TraceDir, when non-empty, records every run as compressed traces:
+	// each traced request gets a per-request subdirectory
+	// <TraceDir>/<source-hash-prefix>-s<seed> holding one .bftrace per
+	// (detector, base) configuration, and the response carries the
+	// subdirectory name in the X-Bigfoot-Trace header so clients can
+	// locate their run's traces for offline replay.
+	TraceDir string
 	// Logf receives request and engine diagnostics.  nil discards — the
 	// server never writes to stdout or stderr on its own.
 	Logf engine.Logf
@@ -219,8 +229,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer s.active.Add(-1)
 	defer s.completed.Add(1)
 
-	req, err := s.decodeRun(r)
+	req, err := s.decodeRun(w, r)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too-large",
+				fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "usage", err)
 		return
 	}
@@ -254,6 +270,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Traced runs get a per-request directory named by content hash and
+	// seed; the label is echoed in X-Bigfoot-Trace so clients can find
+	// their run's traces for offline replay.
+	traceLabel := ""
+	if s.cfg.TraceDir != "" {
+		traceLabel = fmt.Sprintf("%s-s%d", engine.SourceHash(req.Program)[:12], req.Seed)
+		dir := filepath.Join(s.cfg.TraceDir, traceLabel)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", fmt.Errorf("trace dir: %w", err))
+			return
+		}
+		opts.TraceDir = dir
+	}
+
 	runner := &harness.Runner{Opts: opts, Engine: s.eng, Logf: s.cfg.Logf}
 	start := time.Now()
 	pr, err := runner.RunProgramContext(ctx, workloads.Workload{
@@ -268,6 +298,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	rep := harness.NewReport(opts, []*harness.ProgramResult{pr})
 
 	w.Header().Set("X-Bigfoot-Cache", cacheLabel(wasCached))
+	if traceLabel != "" {
+		w.Header().Set("X-Bigfoot-Trace", traceLabel)
+	}
 	s.cfg.Logf("service: %s ok in %v (cache %s, %d detectors)",
 		req.Name, time.Since(start).Round(time.Millisecond), cacheLabel(wasCached), len(names))
 	w.Header().Set("Content-Type", "application/json")
@@ -277,9 +310,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// decodeRun parses and validates the request body.
-func (s *Server) decodeRun(r *http.Request) (*RunRequest, error) {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+// decodeRun parses and validates the request body.  The ResponseWriter
+// must be the request's own: MaxBytesReader uses it to close the
+// connection on overrun, and the *http.MaxBytesError it returns is how
+// handleRun distinguishes an oversized body (413) from malformed JSON
+// (400) — a nil writer here once collapsed both into 400 usage.
+func (s *Server) decodeRun(w http.ResponseWriter, r *http.Request) (*RunRequest, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	var req RunRequest
 	if err := dec.Decode(&req); err != nil {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -360,5 +361,81 @@ func TestLoadConcurrentMixed(t *testing.T) {
 	}
 	if a := s.active.Load(); a != 0 {
 		t.Errorf("%d sessions still active after drain", a)
+	}
+}
+
+// TestOversizedBody: a body over the limit is the client's fault and
+// must come back as 413 "too-large" naming the limit — not as a generic
+// 400 decode error.
+func TestOversizedBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 512})
+	big, err := json.Marshal(RunRequest{Program: strings.Repeat("// padding\n", 200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%s)", resp.StatusCode, data)
+	}
+	if code := errorCode(t, data); code != "too-large" {
+		t.Errorf("code %q, want %q", code, "too-large")
+	}
+	if !bytes.Contains(data, []byte("512")) {
+		t.Errorf("error message does not name the limit: %s", data)
+	}
+
+	// At the limit exactly, requests still work.
+	small, _ := json.Marshal(RunRequest{Program: clean})
+	if int64(len(small)) > 512 {
+		t.Fatalf("test assumption broken: clean request is %d bytes", len(small))
+	}
+	resp2, data2 := postRun(t, ts.URL, RunRequest{Program: clean})
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("in-limit request: status %d (%s)", resp2.StatusCode, data2)
+	}
+}
+
+// TestTraceDirLabelsRuns: with TraceDir configured every run is
+// recorded under a content-hash+seed subdirectory, the response names
+// it in X-Bigfoot-Trace, and the recorded traces replay offline to the
+// same signature the live response reported.
+func TestTraceDirLabelsRuns(t *testing.T) {
+	root := t.TempDir()
+	_, ts := newTestServer(t, Config{TraceDir: root})
+	resp, data := postRun(t, ts.URL, RunRequest{Program: racy, Seed: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, data)
+	}
+	label := resp.Header.Get("X-Bigfoot-Trace")
+	if label == "" {
+		t.Fatal("no X-Bigfoot-Trace header")
+	}
+	if !strings.HasSuffix(label, "-s5") {
+		t.Errorf("label %q does not carry the seed", label)
+	}
+	dir := filepath.Join(root, label)
+	files, err := filepath.Glob(filepath.Join(dir, "*"+harness.TraceExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 6 { // base + five detectors
+		t.Fatalf("recorded %d traces, want 6: %v", len(files), files)
+	}
+
+	live, err := harness.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := harness.ReplayDir(dir, harness.Options{Seed: 5, Trials: 1, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replayed.Signature(), live.Signature(); got != want {
+		t.Errorf("replayed signature differs from the live response:\nlive:\n%s\nreplayed:\n%s", want, got)
 	}
 }

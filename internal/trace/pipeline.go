@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"bigfoot/internal/bfj"
+	"bigfoot/internal/interp"
+)
+
+// Pipeline decouples event production (the interpreter) from event
+// consumption (detector, recorder, trace writer): it implements
+// interp.Hook on the producer side, batches events into fixed-size
+// chunks, and hands full chunks to a single consumer goroutine over a
+// bounded channel.  The consumer replays each chunk into the downstream
+// hook in order, so the downstream observes exactly the serialized hook
+// stream it would have seen synchronously — same events, same order,
+// same values — and every deterministic counter (and therefore
+// harness.Signature) is byte-identical to the synchronous path.
+//
+// Backpressure: the chunk channel is bounded (DefaultDepth chunks).
+// When the consumer falls behind, the producer blocks in the hook
+// callback, bounding memory to depth+1 chunks regardless of trace
+// length.  Chunk boundaries are deterministic (every chunkSize events),
+// but they are invisible to the downstream — batching changes only
+// when events are delivered, never which or in what order.
+//
+// The downstream hook runs entirely on the consumer goroutine,
+// including detector Observer callbacks it may trigger, so downstream
+// implementations keep their no-locking contract.  The chunk handoff
+// (channel send/receive) provides the happens-before edge for the
+// event payloads: live interp.Object/Array pointers cross goroutines,
+// but the detector side reads only their immutable identity fields.
+//
+// Close must be called after the interpreter returns — also (and
+// especially) on error paths, where the interpreter never calls
+// Finish — before reading any downstream state.  It flushes the
+// partial chunk, waits for the consumer to drain, and is idempotent.
+type Pipeline struct {
+	down interp.Hook
+
+	chunk []prec
+	size  int
+
+	ch   chan []prec
+	free chan []prec
+	done chan struct{}
+
+	closed bool
+}
+
+// Pipeline sizing defaults: chunks large enough to amortize the channel
+// handoff, a channel deep enough to keep the consumer busy while the
+// producer fills the next chunk, small enough that a stalled consumer
+// stalls the producer promptly.
+const (
+	DefaultChunkEvents   = 1024
+	DefaultPipelineDepth = 4
+)
+
+// NewPipeline wraps down in an asynchronous chunked pipeline.
+// chunkEvents is the batch size (<= 0 uses DefaultChunkEvents).  The
+// consumer goroutine starts immediately; Close stops it.
+func NewPipeline(down interp.Hook, chunkEvents int) *Pipeline {
+	if chunkEvents <= 0 {
+		chunkEvents = DefaultChunkEvents
+	}
+	p := &Pipeline{
+		down: down,
+		size: chunkEvents,
+		ch:   make(chan []prec, DefaultPipelineDepth),
+		free: make(chan []prec, DefaultPipelineDepth+1),
+		done: make(chan struct{}),
+	}
+	go p.consume()
+	return p
+}
+
+// prec is one buffered hook event in producer-side record form.  One
+// struct covers every Hook callback; op selects which fields are live.
+type prec struct {
+	op      byte
+	write   bool
+	t       int
+	a, b, c int
+
+	obj   *interp.Object
+	arr   *interp.Array
+	fc    *interp.FieldCheck
+	field string
+	pos   bfj.Pos
+	poss  []bfj.Pos
+}
+
+// Producer-side opcodes, shared with the on-disk format (format.go).
+const (
+	opFork byte = iota
+	opThreadEnd
+	opJoin
+	opAcquire
+	opRelease
+	opVolRead
+	opVolWrite
+	opReadField
+	opWriteField
+	opReadIndex
+	opWriteIndex
+	opCheckField
+	opCheckRange
+	opFinish
+)
+
+func (p *Pipeline) push(r prec) {
+	if p.chunk == nil {
+		select {
+		case buf := <-p.free:
+			p.chunk = buf
+		default:
+			p.chunk = make([]prec, 0, p.size)
+		}
+	}
+	p.chunk = append(p.chunk, r)
+	if len(p.chunk) >= p.size {
+		p.flush()
+	}
+}
+
+func (p *Pipeline) flush() {
+	if len(p.chunk) > 0 {
+		p.ch <- p.chunk
+		p.chunk = nil
+	}
+}
+
+func (p *Pipeline) consume() {
+	defer close(p.done)
+	for chunk := range p.ch {
+		for i := range chunk {
+			chunk[i].apply(p.down)
+		}
+		select {
+		case p.free <- chunk[:0]:
+		default: // free list full; let the chunk be collected
+		}
+	}
+}
+
+// Close flushes the partial chunk and waits until the consumer has
+// dispatched every buffered event into the downstream hook.  After
+// Close returns, downstream state (detector stats, recorder contents,
+// writer output) is fully up to date and safe to read from the caller's
+// goroutine.  Idempotent; the engine calls it on every exit path
+// because the interpreter skips Finish when a run fails.
+func (p *Pipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.flush()
+	close(p.ch)
+	<-p.done
+}
+
+// apply dispatches one buffered event into h.
+func (r *prec) apply(h interp.Hook) {
+	switch r.op {
+	case opFork:
+		h.Fork(r.t, r.a)
+	case opThreadEnd:
+		h.ThreadEnd(r.t)
+	case opJoin:
+		h.Join(r.t, r.a)
+	case opAcquire:
+		h.Acquire(r.t, r.obj)
+	case opRelease:
+		h.Release(r.t, r.obj)
+	case opVolRead:
+		h.VolRead(r.t, r.obj, r.field)
+	case opVolWrite:
+		h.VolWrite(r.t, r.obj, r.field)
+	case opReadField:
+		h.ReadField(r.t, r.obj, r.field, r.pos)
+	case opWriteField:
+		h.WriteField(r.t, r.obj, r.field, r.pos)
+	case opReadIndex:
+		h.ReadIndex(r.t, r.arr, r.a, r.pos)
+	case opWriteIndex:
+		h.WriteIndex(r.t, r.arr, r.a, r.pos)
+	case opCheckField:
+		h.CheckField(r.t, r.write, r.obj, r.fc)
+	case opCheckRange:
+		h.CheckRange(r.t, r.write, r.arr, r.a, r.b, r.c, r.poss)
+	case opFinish:
+		h.Finish()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// interp.Hook (producer side)
+// ---------------------------------------------------------------------------
+
+// Fork implements interp.Hook.
+func (p *Pipeline) Fork(parent, child int) { p.push(prec{op: opFork, t: parent, a: child}) }
+
+// ThreadEnd implements interp.Hook.
+func (p *Pipeline) ThreadEnd(t int) { p.push(prec{op: opThreadEnd, t: t}) }
+
+// Join implements interp.Hook.
+func (p *Pipeline) Join(parent, child int) { p.push(prec{op: opJoin, t: parent, a: child}) }
+
+// Acquire implements interp.Hook.
+func (p *Pipeline) Acquire(t int, lock *interp.Object) {
+	p.push(prec{op: opAcquire, t: t, obj: lock})
+}
+
+// Release implements interp.Hook.
+func (p *Pipeline) Release(t int, lock *interp.Object) {
+	p.push(prec{op: opRelease, t: t, obj: lock})
+}
+
+// VolRead implements interp.Hook.
+func (p *Pipeline) VolRead(t int, o *interp.Object, field string) {
+	p.push(prec{op: opVolRead, t: t, obj: o, field: field})
+}
+
+// VolWrite implements interp.Hook.
+func (p *Pipeline) VolWrite(t int, o *interp.Object, field string) {
+	p.push(prec{op: opVolWrite, t: t, obj: o, field: field})
+}
+
+// ReadField implements interp.Hook.
+func (p *Pipeline) ReadField(t int, o *interp.Object, field string, pos bfj.Pos) {
+	p.push(prec{op: opReadField, t: t, obj: o, field: field, pos: pos})
+}
+
+// WriteField implements interp.Hook.
+func (p *Pipeline) WriteField(t int, o *interp.Object, field string, pos bfj.Pos) {
+	p.push(prec{op: opWriteField, t: t, obj: o, field: field, pos: pos})
+}
+
+// ReadIndex implements interp.Hook.
+func (p *Pipeline) ReadIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
+	p.push(prec{op: opReadIndex, t: t, arr: a, a: i, pos: pos})
+}
+
+// WriteIndex implements interp.Hook.
+func (p *Pipeline) WriteIndex(t int, a *interp.Array, i int, pos bfj.Pos) {
+	p.push(prec{op: opWriteIndex, t: t, arr: a, a: i, pos: pos})
+}
+
+// CheckField implements interp.Hook.
+func (p *Pipeline) CheckField(t int, write bool, o *interp.Object, fc *interp.FieldCheck) {
+	p.push(prec{op: opCheckField, t: t, write: write, obj: o, fc: fc})
+}
+
+// CheckRange implements interp.Hook.
+func (p *Pipeline) CheckRange(t int, write bool, a *interp.Array, lo, hi, step int, poss []bfj.Pos) {
+	p.push(prec{op: opCheckRange, t: t, write: write, arr: a, a: lo, b: hi, c: step, poss: poss})
+}
+
+// Finish implements interp.Hook: it forwards the event and then drains
+// the pipeline, so a successfully finished run needs no separate Close
+// (calling Close again is a no-op).
+func (p *Pipeline) Finish() {
+	p.push(prec{op: opFinish})
+	p.Close()
+}

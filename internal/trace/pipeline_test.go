@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"bigfoot/internal/detector"
+	"bigfoot/internal/interp"
+)
+
+// TestPipelineEquivalence: running the detector behind the asynchronous
+// chunked pipeline observes exactly the synchronous event stream — same
+// detector stats, same races, same recorded events — for chunk sizes
+// that exercise many flushes (1), partial final chunks (3), and the
+// default.
+func TestPipelineEquivalence(t *testing.T) {
+	c, prox := compileBF(t)
+
+	newStack := func() (*detector.Detector, *Recorder) {
+		d := detector.New(detector.Config{Name: "BF", Footprints: true, Proxies: prox})
+		rec := NewRecorder(0)
+		d.SetObserver(rec)
+		return d, rec
+	}
+
+	dSync, recSync := newStack()
+	if _, err := c.Run(Tee(recSync, dSync), interp.Options{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, chunk := range []int{1, 3, DefaultChunkEvents} {
+		d, rec := newStack()
+		p := NewPipeline(Tee(rec, d), chunk)
+		if _, err := c.Run(p, interp.Options{Seed: 3}); err != nil {
+			t.Fatal(err)
+		}
+		p.Close() // Finish already drained; Close must be a no-op
+		if d.Stats != dSync.Stats {
+			t.Errorf("chunk %d: detector stats %+v, want %+v", chunk, d.Stats, dSync.Stats)
+		}
+		if got, want := d.RaceCount(), dSync.RaceCount(); got != want {
+			t.Errorf("chunk %d: races = %d, want %d", chunk, got, want)
+		}
+		if !reflect.DeepEqual(rec.Events(), recSync.Events()) {
+			t.Errorf("chunk %d: recorded event stream differs from synchronous run", chunk)
+		}
+	}
+}
+
+// TestPipelineCloseDrains: an aborted run never calls Finish; Close on
+// its own must flush the partial chunk and block until the consumer has
+// delivered every buffered event downstream.  Close is idempotent.
+func TestPipelineCloseDrains(t *testing.T) {
+	rec := NewRecorder(0)
+	p := NewPipeline(rec, 4)
+	const n = 10 // 2 full chunks + a partial one
+	for i := 0; i < n; i++ {
+		p.ThreadEnd(i)
+	}
+	p.Close()
+	if rec.Len() != n {
+		t.Errorf("after Close: recorder has %d events, want %d", rec.Len(), n)
+	}
+	for i, e := range rec.Events() {
+		if e.Thread != i {
+			t.Errorf("event %d: thread = %d, want %d (order not preserved)", i, e.Thread, i)
+		}
+	}
+	p.Close() // second Close must not panic or deadlock
+}
+
+// TestPipelineAllOps: every hook callback crosses the pipeline with its
+// arguments intact — the downstream recorder sees the identical stream
+// a directly-attached recorder sees.
+func TestPipelineAllOps(t *testing.T) {
+	c, prox := compileBF(t)
+	recs, _ := runOnce(t, c, prox, 2) // recs[1] sees the pure hook stream
+	direct := recs[1].Events()
+
+	rec := NewRecorder(0)
+	p := NewPipeline(rec, 7)
+	if _, err := c.Run(p, interp.Options{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if !reflect.DeepEqual(rec.Events(), direct) {
+		t.Error("piped hook stream differs from directly recorded stream")
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRingWrapBoundaries pins the ring semantics at the wrap
+// boundaries: filled to exactly cap, cap+1, and 2*cap+3 events the
+// recorder must keep the newest window, report drops exactly, and
+// return Events() oldest-first with contiguous sequence numbers.
+func TestRingWrapBoundaries(t *testing.T) {
+	const capacity = 8
+	for _, n := range []int{capacity, capacity + 1, 2*capacity + 3} {
+		r := NewRecorder(capacity)
+		for i := 0; i < n; i++ {
+			r.ThreadEnd(i) // thread id doubles as the event's payload
+		}
+		wantLen := capacity
+		if n < capacity {
+			wantLen = n
+		}
+		if r.Len() != wantLen {
+			t.Errorf("n=%d: Len = %d, want %d", n, r.Len(), wantLen)
+		}
+		if got, want := r.Dropped(), uint64(n-wantLen); got != want {
+			t.Errorf("n=%d: Dropped = %d, want %d", n, got, want)
+		}
+		evs := r.Events()
+		if len(evs) != wantLen {
+			t.Fatalf("n=%d: Events len = %d, want %d", n, len(evs), wantLen)
+		}
+		first := uint64(n - wantLen)
+		for i, e := range evs {
+			if want := first + uint64(i); e.Seq != want {
+				t.Errorf("n=%d: event %d seq = %d, want %d (not oldest-first/contiguous)", n, i, e.Seq, want)
+			}
+			if want := n - wantLen + i; e.Thread != want {
+				t.Errorf("n=%d: event %d thread = %d, want %d (payload mismatch)", n, i, e.Thread, want)
+			}
+		}
+	}
+}
+
+// TestRingIndexPastMaxInt is the regression test for the ring index
+// overflow: sequence numbers beyond MaxInt64 must still reduce to valid
+// slot indices.  Before the fix both index sites computed
+// int(seq)%cap, which goes negative (and panics indexing) once seq no
+// longer fits in int.  The test seeds seq near the boundary — chosen
+// ≡ 0 (mod cap) so the append-phase slots line up exactly as they
+// would after 2^63 real events — and records across it.
+func TestRingIndexPastMaxInt(t *testing.T) {
+	const capacity = 4
+	r := NewRecorder(capacity)
+	base := uint64(math.MaxInt64) - 3 // 2^63-4, ≡ 0 mod capacity
+	r.seq = base
+	const n = 10 // crosses 2^63 on the 5th event
+	for i := 0; i < n; i++ {
+		r.ThreadEnd(i)
+	}
+	if r.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", r.Len(), capacity)
+	}
+	if got, want := r.Dropped(), uint64(n-capacity); got != want {
+		t.Errorf("Dropped = %d, want %d", got, want)
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if want := base + uint64(n-capacity+i); e.Seq != want {
+			t.Errorf("event %d: seq = %d, want %d", i, e.Seq, want)
+		}
+		if want := n - capacity + i; e.Thread != want {
+			t.Errorf("event %d: thread = %d, want %d", i, e.Thread, want)
+		}
+	}
+}

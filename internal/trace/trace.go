@@ -76,8 +76,10 @@ func (r *Recorder) record(e Event) {
 		r.buf = append(r.buf, e)
 		return
 	}
-	// Ring overwrite: slot of the oldest event.
-	r.buf[int(e.Seq)%cap(r.buf)] = e
+	// Ring overwrite: slot of the oldest event.  Reduce in uint64 before
+	// converting — int(e.Seq)%cap would go negative (and panic indexing)
+	// once seq no longer fits in int.
+	r.buf[int(e.Seq%uint64(cap(r.buf)))] = e
 	r.dropped++
 }
 
@@ -88,8 +90,9 @@ func (r *Recorder) Events() []Event {
 		return append(out, r.buf...)
 	}
 	// Buffer full and wrapped: the oldest event sits right after the
-	// newest one.
-	start := int(r.seq) % cap(r.buf)
+	// newest one.  Same uint64 reduction as record: int(r.seq)%cap is
+	// negative once seq exceeds MaxInt.
+	start := int(r.seq % uint64(cap(r.buf)))
 	out = append(out, r.buf[start:]...)
 	return append(out, r.buf[:start]...)
 }

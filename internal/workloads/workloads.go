@@ -66,14 +66,48 @@ func All(s Scale) []Workload {
 	}
 }
 
-// ByName returns the named workload at the given scale.
+// ByName returns the named workload at the given scale.  Besides the
+// evaluation set (All), it resolves "quickstart" — the racy demo
+// program of examples/quickstart — which is deliberately excluded from
+// All so committed BENCH trajectories stay comparable across PRs.
 func ByName(name string, s Scale) (Workload, bool) {
 	for _, w := range All(s) {
 		if w.Name == name {
 			return w, true
 		}
 	}
+	if name == "quickstart" {
+		return Quickstart(), true
+	}
 	return Workload{}, false
+}
+
+// Quickstart is the two-thread racy counter of examples/quickstart
+// (kept textually identical to examples/quickstart/quickstart.bfj):
+// both workers read-modify-write Counter.hits without a lock.  It is
+// the only bundled workload with a race, making it the standard target
+// for race-report, trace-record, and replay demonstrations; it takes no
+// Scale because the demo is fixed-size by design.
+func Quickstart() Workload {
+	src := `class Counter { field hits; }
+setup {
+  c = new Counter;
+}
+thread {
+  for (i = 0; i < 100; i = i + 1) {
+    h = c.hits;
+    c.hits = h + 1;
+  }
+}
+thread {
+  for (i = 0; i < 100; i = i + 1) {
+    h = c.hits;
+    c.hits = h + 1;
+  }
+}
+`
+	return Workload{Name: "quickstart", Suite: "examples", Source: src, Threads: 2,
+		Profile: "racy unsynchronized counter (demo program)"}
 }
 
 // forkJoinHarness emits the setup code that forks T workers running
