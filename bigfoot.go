@@ -36,8 +36,13 @@ import (
 	"bigfoot/internal/bfj"
 	"bigfoot/internal/engine"
 	"bigfoot/internal/interp"
+	"bigfoot/internal/metrics"
 	"bigfoot/internal/trace"
 )
+
+// defaultRegistry collects the telemetry of every facade execution;
+// Metrics exposes it.
+var defaultRegistry = metrics.NewRegistry()
 
 // defaultEngine backs every facade execution: the facade is a thin
 // client of the internal engine (the same session core the batch
@@ -45,7 +50,16 @@ import (
 // execution path in the system.  The facade's artifacts are explicit
 // (Instrumented, Compiled), so the engine-side artifact cache stays
 // disabled here.
-var defaultEngine = engine.New(engine.Options{})
+var defaultEngine = engine.New(engine.Options{Metrics: defaultRegistry})
+
+// Metrics returns the process-wide registry behind every facade
+// execution: per-variant build/run latency histograms, detector work
+// counters, and pipeline transport costs.  Callers can serve it over
+// HTTP (Metrics().Handler()), dump it (Metrics().WriteText), or walk
+// the typed Snapshot.  Recording is passive — it never perturbs
+// detection results, which stay byte-identical with or without a
+// consumer.
+func Metrics() *metrics.Registry { return defaultRegistry }
 
 // Pos is a source position in BFJ source text (1-based line and column).
 // The zero Pos means "unknown"; see Pos.IsValid.

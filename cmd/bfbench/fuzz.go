@@ -10,6 +10,8 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"bigfoot/internal/bfgen"
 	"bigfoot/internal/bfj"
@@ -65,13 +67,33 @@ func runFuzz(baseSeed int64, nProgs, nSched int, out string, quiet bool, sh shar
 	for i := range seeds {
 		seeds[i] = int64(i)
 	}
+	// The per-10-programs progress print below can be minutes apart on a
+	// large shard (one program sweeps nSched seeds under five detectors,
+	// and a sharded host skips most indices); a time-based heartbeat
+	// keeps the campaign visibly alive in between.
+	var progsDone, pairsChecked atomic.Int64
+	if !quiet {
+		start := time.Now()
+		stopHB := startHeartbeat(fuzzHeartbeatEvery, func() string {
+			shardNote := ""
+			if sh.n > 1 {
+				shardNote = fmt.Sprintf(", shard %d/%d", sh.i, sh.n)
+			}
+			return fmt.Sprintf("fuzz: alive: %d/%d programs (%d pairs checked), elapsed %s%s",
+				progsDone.Load(), nProgs, pairsChecked.Load(),
+				time.Since(start).Round(time.Second), shardNote)
+		})
+		defer stopHB()
+	}
 	checked := 0
 	for p := 0; p < nProgs; p++ {
 		g := bfgen.Generate(rng, bfgen.DefaultConfig())
+		progsDone.Store(int64(p + 1))
 		if !sh.contains(p) {
 			continue
 		}
 		checked++
+		pairsChecked.Store(int64(checked * nSched))
 		dis, err := difftest.CheckGenerated(g, difftest.Options{Seeds: seeds})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bfbench: program %d failed to run: %v\n%s\n", p, err, g.Source)

@@ -10,7 +10,7 @@
 //	        [-pipeline N] [-trace-rec dir] [-signature path]
 //	        [-json path] [-diff old.json] [-diff-ignore m1,m2] [-tolerance F]
 //	        [-json-check path]
-//	        [-cpuprofile f] [-memprofile f] [-trace f]
+//	        [-cpuprofile f] [-memprofile f] [-trace f] [-metrics-out f]
 //	bfbench -trace-replay dir [-signature path] [-json path] ...
 //	bfbench -fuzz [-fuzz-seeds N] [-fuzz-sched K] [-fuzz-out f] [-seed S]
 //	        [-shard i/n] [-q]
@@ -39,6 +39,14 @@
 // evaluation worker pool (0 = GOMAXPROCS); results are identical at any
 // worker count.  -timeout cancels the run, rendering whatever completed.
 //
+// -metrics-out dumps the run's metrics registry (engine latencies,
+// cache traffic, pipeline transport cost) in the Prometheus text
+// exposition format at exit — the batch-tool equivalent of scraping
+// bigfootd's GET /metrics ("-" writes to stderr).  Unless -q is set,
+// long evaluation and fuzz campaigns also print a periodic stderr
+// heartbeat (programs done, elapsed time, current shard) so a
+// minutes-long run is distinguishable from a hang.
+//
 // -json writes the structured, versioned report (the same data the text
 // tables render — see harness.Report) for committing as BENCH_*.json.
 // -diff loads a previous report and flags deterministic metrics that
@@ -60,8 +68,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
+	"time"
 
+	"bigfoot/internal/engine"
 	"bigfoot/internal/harness"
+	"bigfoot/internal/metrics"
 	"bigfoot/internal/profiling"
 	"bigfoot/internal/workloads"
 )
@@ -156,6 +168,15 @@ func run() int {
 		}
 	}()
 
+	// One registry backs the whole evaluation; -metrics-out dumps it at
+	// exit, the batch analogue of scraping bigfootd's GET /metrics.
+	reg := metrics.NewRegistry()
+	defer func() {
+		if err := prof.WriteMetrics(reg); err != nil {
+			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
+		}
+	}()
+
 	opts := harness.Options{
 		Scale:    workloads.Scale{N: *scale, T: *threads},
 		Seed:     *seed,
@@ -174,9 +195,19 @@ func run() int {
 		}
 		opts.TraceDir = *traceRec
 	}
-	r := &harness.Runner{Opts: opts}
+	r := &harness.Runner{Opts: opts, Engine: engine.New(engine.Options{Metrics: reg})}
 	if !*quiet {
-		r.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		var progsDone atomic.Int64
+		r.Progress = func(line string) {
+			progsDone.Add(1)
+			fmt.Fprintln(os.Stderr, line)
+		}
+		start := time.Now()
+		stopHB := startHeartbeat(evalHeartbeatEvery, func() string {
+			return fmt.Sprintf("bfbench: alive: %d programs done, elapsed %s",
+				progsDone.Load(), time.Since(start).Round(time.Second))
+		})
+		defer stopHB()
 	}
 
 	ctx := context.Background()

@@ -7,7 +7,7 @@
 //	        [-seed N] [-runs K] [-show] [-stats]
 //	        [-trace-out f.json] [-trace-rec f.bftrace] [-explain-races]
 //	        [-debug-census] [-cpuprofile f] [-memprofile f] [-trace f]
-//	        file.bfj
+//	        [-metrics-out f] file.bfj
 //	bigfoot -trace-replay f.bftrace [-stats] [-explain-races]
 //
 // -show prints the instrumented program (with placed checks) instead of
@@ -26,7 +26,9 @@
 // synchronization operation (diagnostic only — the walk is the cost the
 // incremental census removed).  The profiling flags capture
 // runtime/pprof and runtime/trace output for `go tool pprof` /
-// `go tool trace`.
+// `go tool trace`; -metrics-out dumps the run's metrics registry
+// (build/run latency, detector work counters) in the Prometheus text
+// format at exit ("-" for stderr).
 package main
 
 import (
@@ -114,6 +116,11 @@ func run() int {
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "bigfoot: %v\n", err)
+		}
+		// The facade records every run in the process registry;
+		// -metrics-out dumps it.
+		if err := prof.WriteMetrics(bigfoot.Metrics()); err != nil {
 			fmt.Fprintf(os.Stderr, "bigfoot: %v\n", err)
 		}
 	}()

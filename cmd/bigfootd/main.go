@@ -5,14 +5,22 @@
 // Usage:
 //
 //	bigfootd [-addr :8347] [-cache 64] [-max-steps N] [-max-timeout D]
-//	         [-trace-dir DIR] [-v]
+//	         [-trace-dir DIR] [-pipeline N] [-log-json] [-v]
 //
 // Endpoints:
 //
-//	POST /v1/run    {"program": "...", "detectors": ["FT","BF"], ...}
-//	                -> harness.Report JSON (X-Bigfoot-Cache: hit|miss)
-//	GET  /v1/stats  -> artifact-cache and session counters
-//	GET  /healthz   -> ok
+//	POST /v1/run     {"program": "...", "detectors": ["FT","BF"], ...}
+//	                 -> harness.Report JSON (X-Bigfoot-Cache: hit|miss)
+//	GET  /v1/stats   -> uptime, build info, cache/session/pipeline counters
+//	GET  /v1/version -> service and build identity
+//	GET  /metrics    -> Prometheus text exposition of every instrument
+//	GET  /healthz    -> ok
+//
+// Every request is answered with an X-Request-Id header (honoring one
+// the client sent) and logged as one structured access-log line —
+// logfmt-style text by default, JSON under -log-json; -v adds
+// debug-level detail (engine cache traffic, session failures,
+// scrape/health polls).
 //
 // With -trace-dir every run is recorded into the persistent compressed
 // trace format under DIR/<source-hash>-s<seed>/ (one .bftrace per
@@ -33,7 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -41,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"bigfoot/internal/metrics"
 	"bigfoot/internal/service"
 )
 
@@ -56,7 +65,9 @@ func run() int {
 		maxTimeout = flag.Duration("max-timeout", service.DefaultTimeout, "per-session wall-clock budget cap")
 		drainFor   = flag.Duration("drain-timeout", time.Minute, "grace period for in-flight sessions on shutdown")
 		traceDir   = flag.String("trace-dir", "", "record every run as compressed traces under this directory")
-		verbose    = flag.Bool("v", false, "log every session and cache event")
+		pipeline   = flag.Int("pipeline", 0, "run detection behind the async chunked pipeline (events per chunk; 0 = synchronous, -1 = default chunk size)")
+		logJSON    = flag.Bool("log-json", false, "emit the access log as JSON lines instead of text")
+		verbose    = flag.Bool("v", false, "debug logging: cache traffic, session failures, health/metrics polls")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -64,19 +75,26 @@ func run() int {
 		return 2
 	}
 
-	logger := log.New(os.Stderr, "bigfootd: ", log.LstdFlags)
-	logf := func(format string, args ...any) {
-		if *verbose {
-			logger.Printf(format, args...)
-		}
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
 	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
 
+	reg := metrics.NewRegistry()
 	svc := service.New(service.Config{
 		CacheSize:  *cacheSize,
 		MaxSteps:   *maxSteps,
 		MaxTimeout: *maxTimeout,
 		TraceDir:   *traceDir,
-		Logf:       logf,
+		Pipeline:   *pipeline,
+		Metrics:    reg,
+		Logger:     logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -85,8 +103,9 @@ func run() int {
 		return 1
 	}
 	srv := &http.Server{Handler: svc}
-	logger.Printf("listening on %s (cache %d entries, max steps %d, max timeout %v)",
-		ln.Addr(), *cacheSize, *maxSteps, *maxTimeout)
+	logger.Info("listening",
+		"addr", ln.Addr().String(), "cache", *cacheSize,
+		"max_steps", *maxSteps, "max_timeout", *maxTimeout, "pipeline", *pipeline)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -99,7 +118,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "bigfootd: %v\n", err)
 		return 1
 	case sig := <-sigs:
-		logger.Printf("received %v, draining in-flight sessions", sig)
+		logger.Info("draining in-flight sessions", "signal", sig.String())
 	}
 
 	// Graceful shutdown: refuse new sessions (503), drain the running
@@ -109,18 +128,18 @@ func run() int {
 	defer cancel()
 	go func() {
 		<-sigs
-		logger.Printf("second signal, aborting drain")
+		logger.Warn("second signal, aborting drain")
 		cancel()
 	}()
 	code := 0
 	if err := svc.Drain(ctx); err != nil {
-		logger.Printf("%v", err)
+		logger.Error("drain failed", "err", err)
 		code = 1
 	}
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err)
 		code = 1
 	}
-	logger.Printf("drained; bye")
+	logger.Info("drained; bye")
 	return code
 }

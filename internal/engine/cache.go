@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"bigfoot/internal/metrics"
 )
 
 // SourceHash returns the content address of BFJ source text: a
@@ -34,11 +36,17 @@ func CacheKey(src string, variants []string, withBase bool) string {
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness
-// counters; the service layer surfaces it in results.
+// counters; the service layer surfaces it in results.  It is a view
+// over the cache's metrics instruments — the counter family
+// bigfoot_engine_cache_events_total holds the same numbers.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// Collapsed counts misses that piggybacked on another caller's
+	// in-flight build of the same key (they are also counted as hits:
+	// they did not compile).
+	Collapsed uint64 `json:"collapsed"`
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
 }
@@ -48,6 +56,7 @@ func (s CacheStats) String() string {
 	return "hits=" + strconv.FormatUint(s.Hits, 10) +
 		" misses=" + strconv.FormatUint(s.Misses, 10) +
 		" evictions=" + strconv.FormatUint(s.Evictions, 10) +
+		" collapsed=" + strconv.FormatUint(s.Collapsed, 10) +
 		" entries=" + strconv.Itoa(s.Entries) + "/" + strconv.Itoa(s.Capacity)
 }
 
@@ -67,7 +76,11 @@ type Cache struct {
 
 	building map[string]*buildCall
 
-	hits, misses, evictions uint64
+	// Effectiveness counters live directly on metrics instruments
+	// (detached ones when the cache was built without a registry), so
+	// exposition and CacheStats can never disagree.
+	hits, misses, evictions, collapsed *metrics.Counter
+	entriesGauge                       *metrics.Gauge
 }
 
 type cacheEntry struct {
@@ -82,16 +95,33 @@ type buildCall struct {
 	err  error
 }
 
-// NewCache creates a cache bounded to capacity entries (minimum 1).
-func NewCache(capacity int) *Cache {
+// NewCache creates a cache bounded to capacity entries (minimum 1)
+// with detached (unexported) instruments.
+func NewCache(capacity int) *Cache { return NewCacheMetered(capacity, nil) }
+
+// NewCacheMetered creates a cache bounded to capacity entries whose
+// effectiveness counters are registered on reg as the counter family
+// bigfoot_engine_cache_events_total{event} and the gauge
+// bigfoot_engine_cache_entries.  A nil registry hands out detached
+// instruments, so the cache meters either way.
+func NewCacheMetered(capacity int, reg *metrics.Registry) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
+	events := reg.CounterVec("bigfoot_engine_cache_events_total",
+		"artifact-cache events: hit, miss, eviction, collapsed (miss that waited on an in-flight build)",
+		"event")
 	return &Cache{
-		cap:      capacity,
-		order:    list.New(),
-		entries:  map[string]*list.Element{},
-		building: map[string]*buildCall{},
+		cap:       capacity,
+		order:     list.New(),
+		entries:   map[string]*list.Element{},
+		building:  map[string]*buildCall{},
+		hits:      events.With("hit"),
+		misses:    events.With("miss"),
+		evictions: events.With("eviction"),
+		collapsed: events.With("collapsed"),
+		entriesGauge: reg.Gauge("bigfoot_engine_cache_entries",
+			"artifact-cache resident entries"),
 	}
 }
 
@@ -100,11 +130,11 @@ func (c *Cache) Get(key string) *Artifact {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		c.hits++
+		c.hits.Inc()
 		c.order.MoveToFront(el)
 		return el.Value.(*cacheEntry).art
 	}
-	c.misses++
+	c.misses.Inc()
 	return nil
 }
 
@@ -116,14 +146,15 @@ func (c *Cache) Get(key string) *Artifact {
 func (c *Cache) GetOrBuild(key string, build func() (*Artifact, error)) (*Artifact, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
-		c.hits++
+		c.hits.Inc()
 		c.order.MoveToFront(el)
 		art := el.Value.(*cacheEntry).art
 		c.mu.Unlock()
 		return art, true, nil
 	}
 	if call, ok := c.building[key]; ok {
-		c.hits++
+		c.hits.Inc()
+		c.collapsed.Inc()
 		c.mu.Unlock()
 		<-call.done
 		if call.err != nil {
@@ -131,7 +162,7 @@ func (c *Cache) GetOrBuild(key string, build func() (*Artifact, error)) (*Artifa
 		}
 		return call.art, true, nil
 	}
-	c.misses++
+	c.misses.Inc()
 	call := &buildCall{done: make(chan struct{})}
 	c.building[key] = call
 	c.mu.Unlock()
@@ -161,9 +192,10 @@ func (c *Cache) insert(key string, art *Artifact) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+		c.evictions.Inc()
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, art: art})
+	c.entriesGauge.Set(float64(c.order.Len()))
 }
 
 // Peek reports whether key is cached without touching the hit/miss
@@ -188,7 +220,10 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Entries: c.order.Len(), Capacity: c.cap,
+		Hits:      uint64(c.hits.Value()),
+		Misses:    uint64(c.misses.Value()),
+		Evictions: uint64(c.evictions.Value()),
+		Collapsed: uint64(c.collapsed.Value()),
+		Entries:   c.order.Len(), Capacity: c.cap,
 	}
 }

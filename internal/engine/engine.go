@@ -31,6 +31,7 @@ import (
 	"bigfoot/internal/detector"
 	"bigfoot/internal/instrument"
 	"bigfoot/internal/interp"
+	"bigfoot/internal/metrics"
 	"bigfoot/internal/proxy"
 	"bigfoot/internal/trace"
 )
@@ -77,6 +78,12 @@ type Options struct {
 	// Logf receives diagnostic lines (cache hits/misses/evictions,
 	// build failures).  nil discards.
 	Logf Logf
+	// Metrics receives the engine's instruments: build/run latency
+	// histograms, outcome and cache counters, pipeline totals.  nil
+	// meters into detached instruments (no exposition, negligible
+	// cost).  Deterministic counters are folded in only after each run
+	// completes, so attaching a registry never perturbs signatures.
+	Metrics *metrics.Registry
 }
 
 // Engine builds and runs detection sessions.  The zero value is not
@@ -84,16 +91,17 @@ type Options struct {
 type Engine struct {
 	cache *Cache
 	logf  Logf
+	m     engineMetrics
 }
 
 // New creates an engine.
 func New(opts Options) *Engine {
-	e := &Engine{logf: opts.Logf}
+	e := &Engine{logf: opts.Logf, m: newEngineMetrics(opts.Metrics)}
 	if e.logf == nil {
 		e.logf = func(string, ...any) {}
 	}
 	if opts.CacheSize > 0 {
-		e.cache = NewCache(opts.CacheSize)
+		e.cache = NewCacheMetered(opts.CacheSize, opts.Metrics)
 	}
 	return e
 }
@@ -295,20 +303,27 @@ func (e *Engine) BuildAST(base *bfj.Program, spec BuildSpec) (*Artifact, error) 
 
 	compStart := time.Now()
 	defer func() { art.Timings.Compile = time.Since(compStart) }()
-	compiled := map[*Placement]*interp.Compiled{}
+	type built struct {
+		c *interp.Compiled
+		d time.Duration
+	}
+	compiled := map[*Placement]built{}
 	for _, n := range names {
 		p := placements[n]
-		c, ok := compiled[p]
+		b, ok := compiled[p]
 		if !ok {
-			c, err = interp.Compile(p.Prog)
-			if err != nil {
-				return nil, &BuildError{Variant: n, Err: err}
+			one := time.Now()
+			c, cerr := interp.Compile(p.Prog)
+			if cerr != nil {
+				return nil, &BuildError{Variant: n, Err: cerr}
 			}
-			compiled[p] = c
+			b = built{c: c, d: time.Since(one)}
+			compiled[p] = b
 		}
+		e.m.buildSeconds.With(n).ObserveDuration(b.d)
 		v := &Variant{
 			Name:       n,
-			Compiled:   c,
+			Compiled:   b.c,
 			Footprints: footprintsFor(n),
 			Proxies:    p.Proxies,
 			Stats:      p.Stats,
@@ -318,10 +333,12 @@ func (e *Engine) BuildAST(base *bfj.Program, spec BuildSpec) (*Artifact, error) 
 		art.byName[n] = v
 	}
 	if spec.WithBase {
+		one := time.Now()
 		c, err := interp.Compile(base)
 		if err != nil {
 			return nil, &BuildError{Variant: "base", Err: err}
 		}
+		e.m.buildSeconds.With(BaseVariant).ObserveDuration(time.Since(one))
 		art.Base = c
 	}
 	return art, nil
@@ -450,6 +467,10 @@ type Outcome struct {
 
 	FieldChecks uint64
 	ArrayChecks uint64
+
+	// Pipeline carries the streaming pipeline's drain and backpressure
+	// measurements; nil when the run was synchronous (PipelineChunk 0).
+	Pipeline *trace.PipelineStats
 }
 
 // countingHook forwards every event to the wrapped detector hook while
@@ -528,6 +549,7 @@ func (e *Engine) Run(ctx context.Context, v *Variant, spec RunSpec) (*Outcome, e
 	var pl *trace.Pipeline
 	if spec.PipelineChunk != 0 {
 		pl = trace.NewPipeline(hook, spec.PipelineChunk)
+		pl.DepthGauge = e.m.pipeDepth
 		hook = pl
 	}
 	out, err := e.exec(ctx, v.Compiled, hook, spec)
@@ -536,6 +558,8 @@ func (e *Engine) Run(ctx context.Context, v *Variant, spec RunSpec) (*Outcome, e
 		// Finish, and downstream state (detector stats, trace writer)
 		// must be complete before we read it below.
 		pl.Close()
+		st := pl.Stats()
+		out.Pipeline = &st
 	}
 	if tw != nil {
 		if werr := tw.Close(out.Counters, err); werr != nil && err == nil {
@@ -551,6 +575,7 @@ func (e *Engine) Run(ctx context.Context, v *Variant, spec RunSpec) (*Outcome, e
 	if counting != nil {
 		out.FieldChecks, out.ArrayChecks = counting.fields, counting.arrays
 	}
+	e.observeRun(v.Name, out, err)
 	return out, err
 }
 
@@ -583,17 +608,21 @@ func (e *Engine) RunBase(ctx context.Context, base *interp.Compiled, spec RunSpe
 	var pl *trace.Pipeline
 	if spec.PipelineChunk != 0 {
 		pl = trace.NewPipeline(hook, spec.PipelineChunk)
+		pl.DepthGauge = e.m.pipeDepth
 		hook = pl
 	}
 	out, err := e.exec(ctx, base, hook, spec)
 	if pl != nil {
 		pl.Close()
+		st := pl.Stats()
+		out.Pipeline = &st
 	}
 	if tw != nil {
 		if werr := tw.Close(out.Counters, err); werr != nil && err == nil {
 			err = fmt.Errorf("trace record: %w", werr)
 		}
 	}
+	e.observeRun(BaseVariant, out, err)
 	return out, err
 }
 

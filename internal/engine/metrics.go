@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"bigfoot/internal/metrics"
+)
+
+// engineMetrics is the engine's instrument set.  Every instrument is
+// created up front in New — against the caller's registry, or detached
+// when Options.Metrics is nil — so the run path never nil-checks.
+//
+// Determinism contract: every counter here is folded in from a
+// completed Outcome after the run returns (observeRun), never sampled
+// inside hook callbacks.  The detector check hot path stays 0 allocs
+// and untouched, and harness signatures are byte-identical whether or
+// not a registry is attached.
+type engineMetrics struct {
+	buildSeconds *metrics.HistogramVec // variant (incl. "base")
+	runSeconds   *metrics.HistogramVec // variant (incl. "base")
+	runs         *metrics.CounterVec   // variant, outcome
+
+	steps      *metrics.CounterVec // variant
+	accesses   *metrics.CounterVec // variant
+	checkItems *metrics.CounterVec // variant
+	syncOps    *metrics.CounterVec // variant
+	shadowOps  *metrics.CounterVec // variant
+	footOps    *metrics.CounterVec // variant
+	races      *metrics.CounterVec // variant
+
+	pipeEvents   *metrics.Counter
+	pipeChunks   *metrics.Counter
+	pipeReused   *metrics.Counter
+	pipeStall    *metrics.Counter
+	pipeDepth    *metrics.Gauge
+	pipeDepthMax *metrics.Gauge
+}
+
+func newEngineMetrics(r *metrics.Registry) engineMetrics {
+	return engineMetrics{
+		buildSeconds: r.HistogramVec("bigfoot_engine_build_seconds",
+			"wall-clock compile time per variant, cache misses only; variants sharing one compilation observe the same duration",
+			nil, "variant"),
+		runSeconds: r.HistogramVec("bigfoot_engine_run_seconds",
+			"wall-clock detected-execution time per variant",
+			nil, "variant"),
+		runs: r.CounterVec("bigfoot_engine_runs_total",
+			"completed executions by variant and outcome (ok, race, budget, fault)",
+			"variant", "outcome"),
+		steps: r.CounterVec("bigfoot_engine_steps_total",
+			"interpreted steps, folded in at run end", "variant"),
+		accesses: r.CounterVec("bigfoot_engine_accesses_total",
+			"heap accesses (reads + writes), folded in at run end", "variant"),
+		checkItems: r.CounterVec("bigfoot_engine_check_items_total",
+			"executed race-check items, folded in at run end", "variant"),
+		syncOps: r.CounterVec("bigfoot_engine_sync_ops_total",
+			"synchronization operations, folded in at run end", "variant"),
+		shadowOps: r.CounterVec("bigfoot_engine_shadow_ops_total",
+			"detector shadow-state operations, folded in at run end", "variant"),
+		footOps: r.CounterVec("bigfoot_engine_footprint_ops_total",
+			"detector footprint operations, folded in at run end", "variant"),
+		races: r.CounterVec("bigfoot_engine_races_total",
+			"distinct races reported, folded in at run end", "variant"),
+		pipeEvents: r.Counter("bigfoot_pipeline_events_total",
+			"hook events that entered streaming pipelines"),
+		pipeChunks: r.Counter("bigfoot_pipeline_chunks_total",
+			"chunk handoffs to pipeline consumers"),
+		pipeReused: r.Counter("bigfoot_pipeline_chunks_reused_total",
+			"chunk buffers recycled through pipeline free lists"),
+		pipeStall: r.Counter("bigfoot_pipeline_stall_seconds_total",
+			"producer time spent blocked on a full chunk queue (backpressure)"),
+		pipeDepth: r.Gauge("bigfoot_pipeline_queue_depth",
+			"chunk-queue depth at the most recent handoff (live backpressure signal)"),
+		pipeDepthMax: r.Gauge("bigfoot_pipeline_queue_depth_max",
+			"high-water chunk-queue depth observed across all runs"),
+	}
+}
+
+// outcomeClass classifies one finished run for the runs_total counter.
+func outcomeClass(err error, races int) string {
+	switch {
+	case err == nil && races > 0:
+		return "race"
+	case err == nil:
+		return "ok"
+	case IsBudget(err):
+		return "budget"
+	default:
+		return "fault"
+	}
+}
+
+// observeRun folds one completed execution into the registry.  It runs
+// after the interpreter, detector, and pipeline have all finished, so
+// nothing here can perturb the deterministic event stream.
+func (e *Engine) observeRun(variant string, out *Outcome, err error) {
+	m := &e.m
+	m.runSeconds.With(variant).ObserveDuration(out.Duration)
+	m.runs.With(variant, outcomeClass(err, len(out.Races))).Inc()
+	m.steps.With(variant).Add(float64(out.Counters.Steps))
+	m.accesses.With(variant).Add(float64(out.Counters.Accesses()))
+	m.checkItems.With(variant).Add(float64(out.Counters.CheckItems))
+	m.syncOps.With(variant).Add(float64(out.Counters.SyncOps))
+	m.shadowOps.With(variant).Add(float64(out.ShadowOps))
+	m.footOps.With(variant).Add(float64(out.FootprintOps))
+	m.races.With(variant).Add(float64(len(out.Races)))
+	if st := out.Pipeline; st != nil {
+		m.pipeEvents.Add(float64(st.Events))
+		m.pipeChunks.Add(float64(st.Chunks))
+		m.pipeReused.Add(float64(st.ChunksReused))
+		m.pipeStall.Add(st.Stall().Seconds())
+		m.pipeDepthMax.SetMax(float64(st.MaxQueueDepth))
+	}
+}
+
+// PipelineTotals is the engine-lifetime aggregate of streaming-pipeline
+// cost across every piped run, derived from the engine's instruments.
+// The service layer surfaces it in GET /v1/stats.
+type PipelineTotals struct {
+	Events        uint64  `json:"events"`
+	Chunks        uint64  `json:"chunks"`
+	ChunksReused  uint64  `json:"chunks_reused"`
+	StallSeconds  float64 `json:"stall_seconds"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
+}
+
+// PipelineTotals snapshots the engine's aggregate pipeline counters.
+func (e *Engine) PipelineTotals() PipelineTotals {
+	return PipelineTotals{
+		Events:        uint64(e.m.pipeEvents.Value()),
+		Chunks:        uint64(e.m.pipeChunks.Value()),
+		ChunksReused:  uint64(e.m.pipeReused.Value()),
+		StallSeconds:  e.m.pipeStall.Value(),
+		MaxQueueDepth: int(e.m.pipeDepthMax.Value()),
+	}
+}

@@ -115,6 +115,16 @@ type DetectorResult struct {
 	// replayed reports (ReplayDir) the divisor is the replay's own
 	// detection time — offline analysis throughput.  Schema v3.
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Pipeline transport cost, populated only when the run streamed
+	// detection through the async pipeline (Options.Pipeline != 0).
+	// PipelineChunks is trial 0's chunk count (deterministic for a given
+	// chunk size).  PipelineMaxDepth is the high-water chunk-queue depth
+	// and PipelineStallNS the total producer backpressure time across
+	// all trials — wall-clock observations, so like Time they are
+	// excluded from Signature and Diff.  Schema v4.
+	PipelineChunks   uint64 `json:"pipeline_chunks,omitempty"`
+	PipelineMaxDepth int    `json:"pipeline_max_depth,omitempty"`
+	PipelineStallNS  int64  `json:"pipeline_stall_ns,omitempty"`
 }
 
 // hookEvents counts the hook events a detector consumed: worker heap
@@ -418,6 +428,17 @@ func (st *programState) finalize() {
 			ArrayModes:   first.ArrayModes,
 			RaceReports:  raceReports(first.Races),
 			EventsPerSec: eventsPerSec(hookEvents(dc), dt),
+		}
+		if first.Pipeline != nil {
+			dr.PipelineChunks = first.Pipeline.Chunks
+			for _, tr := range trials {
+				if st := tr.out.Pipeline; st != nil {
+					if st.MaxQueueDepth > dr.PipelineMaxDepth {
+						dr.PipelineMaxDepth = st.MaxQueueDepth
+					}
+					dr.PipelineStallNS += st.StallNanos
+				}
+			}
 		}
 		res.Detectors[v.Name] = dr
 		switch v.Name {

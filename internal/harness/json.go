@@ -26,7 +26,10 @@ import (
 //	3: adds DetectorResult.EventsPerSec (macro detection throughput).
 //	   Additive and wall-clock derived (not diffed), so v1/v2 reports
 //	   remain readable and comparable.
-const ReportVersion = 3
+//	4: adds DetectorResult.PipelineChunks/PipelineMaxDepth/
+//	   PipelineStallNS (streaming transport cost of piped runs).
+//	   Additive; zero/omitted for synchronous runs and older reports.
+const ReportVersion = 4
 
 // minReadVersion is the oldest schema ReadJSON still accepts.  Every
 // version in [minReadVersion, ReportVersion] is a subset of the current

@@ -1,0 +1,252 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry for consumers: the Prometheus text
+// exposition format (version 0.0.4) for scrapers, an http.Handler for
+// mounting at GET /metrics, and a structured Snapshot for tests and
+// JSON export.  Both renderings are views over the same snapshot, so
+// they cannot disagree.
+
+// ContentType is the exposition format's media type, sent by Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name/value pair of a series.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// at or below the upper bound.  The +Inf bucket equals the series
+// count.
+type Bucket struct {
+	LE    float64 `json:"le"` // +Inf for the overflow bucket
+	Count uint64  `json:"count"`
+}
+
+// SeriesSnapshot is the point-in-time state of one series.
+type SeriesSnapshot struct {
+	Labels []Label `json:"labels,omitempty"`
+	// Value is the counter or gauge value (histograms use the fields
+	// below instead).
+	Value float64 `json:"value,omitempty"`
+	// Buckets/Count/Sum are the histogram state; Buckets are cumulative.
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+}
+
+// FamilySnapshot is the point-in-time state of one metric family and
+// every series under it, sorted by label values.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot captures every family, sorted by name.  Individual values
+// are loaded atomically; the snapshot as a whole is not a consistent
+// cut across instruments (fine for exposition, which has the same
+// property in every metrics system).  A nil registry snapshots empty.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.snapshot())
+	}
+	return out
+}
+
+func (f *family) snapshot() FamilySnapshot {
+	f.mu.Lock()
+	ss := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		ss = append(ss, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool {
+		return strings.Join(ss[i].values, "\x00") < strings.Join(ss[j].values, "\x00")
+	})
+
+	fs := FamilySnapshot{Name: f.name, Type: f.typ, Help: f.help}
+	for _, s := range ss {
+		var snap SeriesSnapshot
+		for i, l := range f.labels {
+			snap.Labels = append(snap.Labels, Label{Name: l, Value: s.values[i]})
+		}
+		switch f.typ {
+		case TypeCounter:
+			snap.Value = s.c.Value()
+		case TypeGauge:
+			snap.Value = s.g.Value()
+		case TypeHistogram:
+			var cum uint64
+			for i, b := range f.buckets {
+				cum += s.h.counts[i].Load()
+				snap.Buckets = append(snap.Buckets, Bucket{LE: b, Count: cum})
+			}
+			cum += s.h.counts[len(f.buckets)].Load()
+			snap.Buckets = append(snap.Buckets, Bucket{LE: math.Inf(+1), Count: cum})
+			snap.Count = cum
+			snap.Sum = s.h.Sum()
+		}
+		fs.Series = append(fs.Series, snap)
+	}
+	return fs
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format, families sorted by name, series sorted by label values.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.Snapshot() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f FamilySnapshot, s SeriesSnapshot) error {
+	if f.Type != TypeHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, labelString(s.Labels, "", 0), formatValue(s.Value))
+		return err
+	}
+	for _, b := range s.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.LE, +1) {
+			le = formatValue(b.LE)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labelString(s.Labels, le, 1), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelString(s.Labels, "", 0), formatValue(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelString(s.Labels, "", 0), s.Count)
+	return err
+}
+
+// labelString renders {a="x",b="y"} (empty when there are no labels).
+// mode 1 appends the le bucket label.
+func labelString(labels []Label, le string, mode int) string {
+	if len(labels) == 0 && mode == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if mode == 1 {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value: shortest round-trip decimal, the
+// format every Prometheus parser accepts.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline — the
+// three characters the text format requires escaping inside label
+// values.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline (quotes are legal in help).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the registry in the text exposition format — mount it
+// at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,402 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the exposition-correctness gate: a strict parser for the
+// Prometheus text format (version 0.0.4) — name and label grammar,
+// escape rules, HELP/TYPE placement, histogram bucket monotonicity, and
+// _count/_sum consistency — run against registries exercising every
+// instrument shape, including label values that require escaping.  The
+// CI telemetry job applies the same checks (in python) to a live
+// /metrics scrape; this parser is the reference for what "well-formed"
+// means in this repository.
+
+// parsedSeries is one sample line.
+type parsedSeries struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition parses text-format exposition strictly, failing on
+// anything the format forbids.  It returns the samples and the
+// name->type map from # TYPE lines.
+func parseExposition(t *testing.T, text string) ([]parsedSeries, map[string]string) {
+	t.Helper()
+	var samples []parsedSeries
+	types := map[string]string{}
+	helped := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	line := 0
+	for sc.Scan() {
+		line++
+		ln := sc.Text()
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("line %d: %s\n  %s", line, fmt.Sprintf(format, args...), ln)
+		}
+		if ln == "" {
+			continue
+		}
+		if strings.HasPrefix(ln, "# HELP ") {
+			rest := ln[len("# HELP "):]
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !ValidName(name) {
+				fail("malformed HELP line")
+			}
+			if helped[name] {
+				fail("duplicate HELP for %s", name)
+			}
+			if types[name] != "" {
+				fail("HELP after TYPE for %s", name)
+			}
+			helped[name] = true
+			continue
+		}
+		if strings.HasPrefix(ln, "# TYPE ") {
+			fields := strings.Fields(ln[len("# TYPE "):])
+			if len(fields) != 2 || !ValidName(fields[0]) {
+				fail("malformed TYPE line")
+			}
+			switch fields[1] {
+			case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+			default:
+				fail("unknown type %q", fields[1])
+			}
+			if types[fields[0]] != "" {
+				fail("duplicate TYPE for %s", fields[0])
+			}
+			types[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(ln, "#") {
+			continue // comment
+		}
+		samples = append(samples, parseSample(t, line, ln))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples, types
+}
+
+// parseSample parses `name{label="value",...} value`.
+func parseSample(t *testing.T, line int, ln string) parsedSeries {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("line %d: %s\n  %s", line, fmt.Sprintf(format, args...), ln)
+	}
+	i := strings.IndexAny(ln, "{ ")
+	if i < 0 {
+		fail("no value separator")
+	}
+	s := parsedSeries{name: ln[:i], labels: map[string]string{}}
+	if !ValidName(s.name) {
+		fail("invalid metric name %q", s.name)
+	}
+	rest := ln[i:]
+	if rest[0] == '{' {
+		body, after, ok := cutLabels(rest[1:])
+		if !ok {
+			fail("unterminated label set")
+		}
+		for name, value := range labelPairs(t, line, ln, body) {
+			if !ValidName(name) {
+				fail("invalid label name %q", name)
+			}
+			if _, dup := s.labels[name]; dup {
+				fail("duplicate label %q", name)
+			}
+			s.labels[name] = value
+		}
+		rest = after
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		fail("missing space before value")
+	}
+	valText := strings.TrimSpace(rest)
+	var v float64
+	switch valText {
+	case "+Inf":
+		v = math.Inf(+1)
+	case "-Inf":
+		v = math.Inf(-1)
+	case "NaN":
+		v = math.NaN()
+	default:
+		var err error
+		v, err = strconv.ParseFloat(valText, 64)
+		if err != nil {
+			fail("bad value %q: %v", valText, err)
+		}
+	}
+	s.value = v
+	return s
+}
+
+// cutLabels splits `a="x",b="y"}rest` into the label body and rest,
+// honoring escaped quotes inside values.
+func cutLabels(s string) (body, rest string, ok bool) {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip the escaped character
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return s[:i], s[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// labelPairs iterates name/value pairs of a label body, decoding the
+// three escape sequences the format defines and failing on any other.
+func labelPairs(t *testing.T, line int, ln, body string) func(func(string, string) bool) {
+	t.Helper()
+	return func(yield func(string, string) bool) {
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("line %d: %s\n  %s", line, fmt.Sprintf(format, args...), ln)
+		}
+		for len(body) > 0 {
+			eq := strings.Index(body, "=")
+			if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+				fail("malformed label pair at %q", body)
+			}
+			name := body[:eq]
+			var val strings.Builder
+			i := eq + 2
+			for {
+				if i >= len(body) {
+					fail("unterminated label value")
+				}
+				c := body[i]
+				if c == '"' {
+					break
+				}
+				if c == '\n' {
+					fail("raw newline in label value")
+				}
+				if c == '\\' {
+					if i+1 >= len(body) {
+						fail("trailing backslash")
+					}
+					switch body[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						fail("illegal escape \\%c", body[i+1])
+					}
+					i += 2
+					continue
+				}
+				val.WriteByte(c)
+				i++
+			}
+			if !yield(name, val.String()) {
+				return
+			}
+			body = body[i+1:]
+			if len(body) > 0 {
+				if body[0] != ',' {
+					fail("expected ',' between labels, got %q", body)
+				}
+				body = body[1:]
+			}
+		}
+	}
+}
+
+// checkHistograms verifies, for every histogram family in the sample
+// set: cumulative bucket counts are monotonically non-decreasing in le,
+// the +Inf bucket exists and equals _count, and _sum is present.
+func checkHistograms(t *testing.T, samples []parsedSeries, types map[string]string) {
+	t.Helper()
+	// Group bucket samples by (family, non-le labels).
+	type key struct{ fam, labels string }
+	buckets := map[key][]parsedSeries{}
+	counts := map[key]float64{}
+	sums := map[key]bool{}
+	flatten := func(labels map[string]string) string {
+		var parts []string
+		for k, v := range labels {
+			if k != "le" {
+				parts = append(parts, k+"="+v)
+			}
+		}
+		sortStrings(parts)
+		return strings.Join(parts, ",")
+	}
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket") && types[strings.TrimSuffix(s.name, "_bucket")] == TypeHistogram:
+			fam := strings.TrimSuffix(s.name, "_bucket")
+			if _, ok := s.labels["le"]; !ok {
+				t.Errorf("%s sample without le label", s.name)
+			}
+			k := key{fam, flatten(s.labels)}
+			buckets[k] = append(buckets[k], s)
+		case strings.HasSuffix(s.name, "_count") && types[strings.TrimSuffix(s.name, "_count")] == TypeHistogram:
+			counts[key{strings.TrimSuffix(s.name, "_count"), flatten(s.labels)}] = s.value
+		case strings.HasSuffix(s.name, "_sum") && types[strings.TrimSuffix(s.name, "_sum")] == TypeHistogram:
+			sums[key{strings.TrimSuffix(s.name, "_sum"), flatten(s.labels)}] = true
+		}
+	}
+	if len(buckets) == 0 {
+		t.Error("no histogram series found")
+	}
+	for k, bs := range buckets {
+		les := make([]float64, len(bs))
+		for i, b := range bs {
+			le := b.labels["le"]
+			if le == "+Inf" {
+				les[i] = math.Inf(+1)
+				continue
+			}
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Errorf("%s: bad le %q", k.fam, le)
+			}
+			les[i] = v
+		}
+		// Exposition order must already be ascending le.
+		prevLE := math.Inf(-1)
+		prevCount := -1.0
+		sawInf := false
+		for i, b := range bs {
+			if les[i] <= prevLE {
+				t.Errorf("%s{%s}: le not ascending: %v after %v", k.fam, k.labels, les[i], prevLE)
+			}
+			if b.value < prevCount {
+				t.Errorf("%s{%s}: cumulative count decreased: %v after %v", k.fam, k.labels, b.value, prevCount)
+			}
+			prevLE, prevCount = les[i], b.value
+			if math.IsInf(les[i], +1) {
+				sawInf = true
+				if c, ok := counts[k]; !ok || c != b.value {
+					t.Errorf("%s{%s}: +Inf bucket %v != _count %v", k.fam, k.labels, b.value, c)
+				}
+			}
+		}
+		if !sawInf {
+			t.Errorf("%s{%s}: no +Inf bucket", k.fam, k.labels)
+		}
+		if !sums[k] {
+			t.Errorf("%s{%s}: no _sum sample", k.fam, k.labels)
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestExpositionWellFormed renders a registry exercising every
+// instrument shape — including label values that need escaping — and
+// runs the strict parser plus the histogram invariants over the output.
+func TestExpositionWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total", "plain counter").Add(3)
+	r.Gauge("depth", "queue depth").Set(2)
+	rv := r.CounterVec("http_responses_total", "responses by route and status", "route", "status")
+	rv.With("/v1/run", "200").Inc()
+	rv.With("/v1/run", "408").Add(2)
+	rv.With(`tricky"route`, "200").Inc()
+	rv.With("back\\slash\nnewline", "500").Inc()
+	h := r.HistogramVec("request_seconds", "request latency", []float64{0.01, 0.1, 1}, "route")
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 3} {
+		h.With("/v1/run").Observe(v)
+	}
+	h.With("/healthz").Observe(0.001)
+	r.Histogram("unlabeled_seconds", "", []float64{1, 2}).Observe(1.5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples, types := parseExposition(t, text)
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+
+	// Every sample's base family must carry a TYPE declaration.
+	for _, s := range samples {
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(s.name, suf) && types[strings.TrimSuffix(s.name, suf)] == TypeHistogram {
+				base = strings.TrimSuffix(s.name, suf)
+			}
+		}
+		if types[base] == "" {
+			t.Errorf("sample %s has no TYPE declaration", s.name)
+		}
+	}
+
+	// Escaped label values must round-trip through the parser.
+	found := map[string]bool{}
+	for _, s := range samples {
+		if s.name == "http_responses_total" {
+			found[s.labels["route"]] = true
+		}
+	}
+	for _, want := range []string{`tricky"route`, "back\\slash\nnewline", "/v1/run"} {
+		if !found[want] {
+			t.Errorf("escaped label value %q did not round-trip; saw %v", want, found)
+		}
+	}
+
+	checkHistograms(t, samples, types)
+
+	// Counters must be non-negative.
+	for _, s := range samples {
+		if types[s.name] == TypeCounter && s.value < 0 {
+			t.Errorf("counter %s negative: %v", s.name, s.value)
+		}
+	}
+}
+
+// TestExpositionDeterministicOrder pins sorted family and series order,
+// so scrapes diff cleanly.
+func TestExpositionDeterministicOrder(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("zeta_total", "").Inc()
+		v := r.CounterVec("alpha_total", "", "k")
+		v.With("b").Inc()
+		v.With("a").Inc()
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	one, two := build(), build()
+	if one != two {
+		t.Errorf("exposition not deterministic:\n%s\nvs\n%s", one, two)
+	}
+	ia := strings.Index(one, "alpha_total{k=\"a\"}")
+	ib := strings.Index(one, "alpha_total{k=\"b\"}")
+	iz := strings.Index(one, "zeta_total")
+	if !(ia >= 0 && ia < ib && ib < iz) {
+		t.Errorf("order not sorted: a@%d b@%d z@%d\n%s", ia, ib, iz, one)
+	}
+}

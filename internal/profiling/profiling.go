@@ -1,8 +1,10 @@
 // Package profiling wires the standard runtime/pprof and runtime/trace
 // collectors behind three CLI flags (-cpuprofile, -memprofile, -trace),
-// shared by cmd/bigfoot and cmd/bfbench.  The captured files feed `go
-// tool pprof` / `go tool trace` when chasing harness or interpreter
-// hot spots.
+// shared by cmd/bigfoot and cmd/bfbench, plus a -metrics-out flag that
+// dumps the process's metrics registry at exit (the batch-tool
+// equivalent of scraping a daemon's GET /metrics).  The captured files
+// feed `go tool pprof` / `go tool trace` when chasing harness or
+// interpreter hot spots.
 package profiling
 
 import (
@@ -12,6 +14,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+
+	"bigfoot/internal/metrics"
 )
 
 // Config names the output files; empty fields disable that collector.
@@ -19,13 +23,40 @@ type Config struct {
 	CPUProfile string
 	MemProfile string
 	Trace      string
+	MetricsOut string
 }
 
-// AddFlags registers -cpuprofile, -memprofile, and -trace on fs.
+// AddFlags registers -cpuprofile, -memprofile, -trace, and
+// -metrics-out on fs.
 func (c *Config) AddFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write an allocation profile to this file at exit")
 	fs.StringVar(&c.Trace, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&c.MetricsOut, "metrics-out", "", "write the run's metrics in Prometheus text format to this file at exit (\"-\" for stderr)")
+}
+
+// WriteMetrics dumps reg in the Prometheus text exposition format to
+// the configured MetricsOut file ("-" means stderr); a no-op when the
+// flag was not set.
+func (c Config) WriteMetrics(reg *metrics.Registry) error {
+	if c.MetricsOut == "" {
+		return nil
+	}
+	if c.MetricsOut == "-" {
+		return reg.WriteText(os.Stderr)
+	}
+	f, err := os.Create(c.MetricsOut)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return nil
 }
 
 // Start begins the configured collectors and returns a stop function

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -41,6 +42,7 @@ import (
 
 	"bigfoot/internal/engine"
 	"bigfoot/internal/harness"
+	"bigfoot/internal/metrics"
 	"bigfoot/internal/workloads"
 )
 
@@ -76,9 +78,21 @@ type Config struct {
 	// subdirectory name in the X-Bigfoot-Trace header so clients can
 	// locate their run's traces for offline replay.
 	TraceDir string
-	// Logf receives request and engine diagnostics.  nil discards — the
-	// server never writes to stdout or stderr on its own.
-	Logf engine.Logf
+	// Pipeline, when non-zero, runs every session's detection behind the
+	// asynchronous chunked pipeline (this many events per chunk;
+	// negative = default size).  Signatures are identical either way;
+	// the streaming cost shows up in /v1/stats and /metrics.
+	Pipeline int
+	// Metrics receives the service's HTTP instruments and (when Engine
+	// is nil) the internally-constructed engine's instruments; the same
+	// registry is served at GET /metrics.  nil disables exposition but
+	// all instrumentation still runs against detached instruments.
+	Metrics *metrics.Registry
+	// Logger receives the structured access log (one line per request,
+	// with request ID, route, status, latency, cache disposition) and
+	// engine diagnostics at Debug.  nil discards — the server never
+	// writes to stdout or stderr on its own.
+	Logger *slog.Logger
 }
 
 // RunRequest is the body of POST /v1/run.
@@ -111,8 +125,19 @@ type ErrorResponse struct {
 
 // Stats is the body of GET /v1/stats.
 type Stats struct {
-	Cache    engine.CacheStats `json:"cache"`
-	Sessions SessionStats      `json:"sessions"`
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Draining      bool                  `json:"draining"`
+	Build         BuildInfo             `json:"build"`
+	Cache         engine.CacheStats     `json:"cache"`
+	Sessions      SessionStats          `json:"sessions"`
+	Pipeline      engine.PipelineTotals `json:"pipeline"`
+}
+
+// Version is the body of GET /v1/version.
+type Version struct {
+	Service       string    `json:"service"`
+	ReportVersion int       `json:"report_version"`
+	Build         BuildInfo `json:"build"`
 }
 
 // SessionStats counts detection sessions over the server's lifetime.
@@ -123,9 +148,14 @@ type SessionStats struct {
 
 // Server handles detection sessions over a shared engine.
 type Server struct {
-	cfg Config
-	eng *engine.Engine
-	mux *http.ServeMux
+	cfg   Config
+	eng   *engine.Engine
+	mux   *http.ServeMux
+	log   *slog.Logger
+	logf  engine.Logf
+	m     serviceMetrics
+	start time.Time
+	build BuildInfo
 
 	active    atomic.Int64
 	completed atomic.Uint64
@@ -146,21 +176,32 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBody
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
 	}
+	// Engine diagnostics (cache traffic, build failures) are debug-level
+	// noise under the structured access log.
+	logf := func(format string, args ...any) { log.Debug(fmt.Sprintf(format, args...)) }
 	eng := cfg.Engine
 	if eng == nil {
 		size := cfg.CacheSize
 		if size <= 0 {
 			size = DefaultCacheSize
 		}
-		eng = engine.New(engine.Options{CacheSize: size, Logf: cfg.Logf})
+		eng = engine.New(engine.Options{CacheSize: size, Logf: logf, Metrics: cfg.Metrics})
 	}
-	s := &Server{cfg: cfg, eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s := &Server{
+		cfg: cfg, eng: eng, mux: http.NewServeMux(), log: log, logf: logf,
+		m:     newServiceMetrics(cfg.Metrics),
+		start: time.Now(),
+		build: readBuildInfo(),
+	}
+	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/version", s.instrument("/v1/version", s.handleVersion))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return s
 }
 
@@ -180,6 +221,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+	s.m.draining.Set(1)
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -210,12 +252,32 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	var st Stats
+	s.drainMu.Lock()
+	draining := s.draining
+	s.drainMu.Unlock()
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      draining,
+		Build:         s.build,
+		Pipeline:      s.eng.PipelineTotals(),
+	}
 	if c := s.eng.Cache(); c != nil {
 		st.Cache = c.Stats()
 	}
 	st.Sessions = SessionStats{Active: s.active.Load(), Completed: s.completed.Load()}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Version{
+		Service:       "bigfootd",
+		ReportVersion: harness.ReportVersion,
+		Build:         s.build,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.cfg.Metrics.Handler().ServeHTTP(w, r)
 }
 
 // handleRun is one detection session: decode, budget, run, report.
@@ -246,6 +308,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ri := infoFrom(r.Context())
+
 	// The cache outcome this request will see: Peek before running, so
 	// concurrent identical requests that collapse onto one in-flight
 	// build still label the build they waited on.
@@ -253,6 +317,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if c := s.eng.Cache(); c != nil {
 		wasCached = c.Peek(engine.CacheKey(req.Program, names, true))
 	}
+	ri.cache = cacheLabel(wasCached)
 
 	opts := harness.Options{
 		Seed:      req.Seed,
@@ -260,6 +325,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Parallel:  1, // sessions are the unit of concurrency, not trials
 		MaxSteps:  min(orDefault(req.MaxSteps, s.cfg.MaxSteps), s.cfg.MaxSteps),
 		Detectors: names,
+		Pipeline:  s.cfg.Pipeline,
 	}
 	timeout := s.cfg.MaxTimeout
 	if req.TimeoutMS > 0 {
@@ -282,16 +348,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.TraceDir = dir
+		ri.trace = traceLabel
 	}
 
-	runner := &harness.Runner{Opts: opts, Engine: s.eng, Logf: s.cfg.Logf}
-	start := time.Now()
+	runner := &harness.Runner{Opts: opts, Engine: s.eng, Logf: s.logf}
 	pr, err := runner.RunProgramContext(ctx, workloads.Workload{
 		Name: req.Name, Suite: "service", Source: req.Program,
 	})
 	if err != nil {
 		status, code := classify(err)
-		s.cfg.Logf("service: %s %s in %v: %v", req.Name, code, time.Since(start).Round(time.Millisecond), err)
+		// The access-log line carries route/status/latency; the failure
+		// detail is debug-level (it is also the response body).
+		s.log.Debug("session failed", "id", ri.id, "program", req.Name, "code", code, "err", err)
 		writeError(w, status, code, err)
 		return
 	}
@@ -301,12 +369,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if traceLabel != "" {
 		w.Header().Set("X-Bigfoot-Trace", traceLabel)
 	}
-	s.cfg.Logf("service: %s ok in %v (cache %s, %d detectors)",
-		req.Name, time.Since(start).Round(time.Millisecond), cacheLabel(wasCached), len(names))
 	w.Header().Set("Content-Type", "application/json")
 	if err := rep.WriteJSON(w); err != nil {
 		// Headers are gone; all we can do is log (mirrors bfbench exit 3).
-		s.cfg.Logf("service: %s: write report: %v", req.Name, err)
+		s.log.Warn("write report failed", "id", ri.id, "program", req.Name, "err", err)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"bigfoot/internal/harness"
+	"bigfoot/internal/metrics"
 )
 
 const racy = `class Counter { field hits; }
@@ -255,7 +256,8 @@ func TestLoadConcurrentMixed(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load test")
 	}
-	s, ts := newTestServer(t, Config{MaxTimeout: 60 * time.Second})
+	reg := metrics.NewRegistry()
+	s, ts := newTestServer(t, Config{MaxTimeout: 60 * time.Second, Metrics: reg})
 
 	type reqCase struct {
 		key string
@@ -353,6 +355,42 @@ func TestLoadConcurrentMixed(t *testing.T) {
 		t.Errorf("warm cache took no hits under load: %+v", st)
 	}
 	t.Logf("load: %d requests, cache %v", 2*perLevel, st)
+
+	// The telemetry layer must account for exactly this traffic: every
+	// response counted under its status, every session timed, nothing
+	// left in flight, and the exposed cache counters agreeing with the
+	// cache's own snapshot.
+	okResponses := metricValue(reg, "bigfoot_http_responses_total", "route", "/v1/run", "status", "200")
+	budgetResponses := metricValue(reg, "bigfoot_http_responses_total", "route", "/v1/run", "status", "408")
+	if int(okResponses)+int(budgetResponses) != 2*perLevel {
+		t.Errorf("responses_total 200=%v + 408=%v, want %d total", okResponses, budgetResponses, 2*perLevel)
+	}
+	if budgetResponses == 0 {
+		t.Error("no budget responses metered under load")
+	}
+	if got := metricValue(reg, "bigfoot_http_in_flight_requests"); got != 0 {
+		t.Errorf("in-flight gauge = %v after load, want 0", got)
+	}
+	if got := metricValue(reg, "bigfoot_engine_cache_events_total", "event", "hit"); got != float64(st.Hits) {
+		t.Errorf("cache hit series = %v, cache snapshot says %d", got, st.Hits)
+	}
+	if got := metricValue(reg, "bigfoot_engine_runs_total", "variant", "BF", "outcome", "race"); got <= 0 {
+		t.Errorf("runs_total{BF,race} = %v, want > 0", got)
+	}
+	var reqCount uint64
+	for _, f := range reg.Snapshot() {
+		if f.Name != "bigfoot_http_request_seconds" {
+			continue
+		}
+		for _, sr := range f.Series {
+			if len(sr.Labels) == 1 && sr.Labels[0].Value == "/v1/run" {
+				reqCount = sr.Count
+			}
+		}
+	}
+	if reqCount != uint64(2*perLevel) {
+		t.Errorf("request_seconds{/v1/run} count = %d, want %d", reqCount, 2*perLevel)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

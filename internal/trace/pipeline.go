@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"time"
+
 	"bigfoot/internal/bfj"
 	"bigfoot/internal/interp"
 )
@@ -44,7 +46,49 @@ type Pipeline struct {
 	done chan struct{}
 
 	closed bool
+
+	// DepthGauge, when non-nil, receives the chunk-queue depth after
+	// every handoff (a live backpressure signal for scrapers).  Set it
+	// before the first event; metrics.Gauge satisfies the interface.
+	DepthGauge DepthGauge
+
+	stats PipelineStats
 }
+
+// DepthGauge receives queue-depth samples; it decouples this package
+// from any particular metrics implementation.
+type DepthGauge interface{ Set(v float64) }
+
+// PipelineStats are one pipeline's drain and backpressure measurements,
+// maintained on the producer side and safe to read after Close.  Events
+// and Chunks are deterministic for a given run and chunk size; the
+// queue and stall figures are wall-clock observations and vary run to
+// run.  None of them feed back into detection: the stats describe the
+// streaming transport, never the event stream itself, which is how the
+// byte-identical-signature contract survives instrumentation.
+type PipelineStats struct {
+	// Events is the number of hook events that entered the pipeline.
+	Events uint64 `json:"events"`
+	// Chunks is the number of chunk handoffs to the consumer.
+	Chunks uint64 `json:"chunks"`
+	// ChunksReused counts chunk buffers recycled through the free list
+	// (the remainder were freshly allocated).
+	ChunksReused uint64 `json:"chunks_reused"`
+	// MaxQueueDepth is the high-water chunk-channel depth observed at
+	// handoff: how far the consumer fell behind, in chunks.
+	MaxQueueDepth int `json:"max_queue_depth"`
+	// StallNanos is producer time spent blocked handing a chunk to a
+	// full channel — the backpressure cost paid by the interpreter.
+	StallNanos int64 `json:"stall_nanos"`
+}
+
+// Stall returns the backpressure stall time as a duration.
+func (s PipelineStats) Stall() time.Duration { return time.Duration(s.StallNanos) }
+
+// Stats returns the pipeline's measurements.  Only call it after Close
+// (or Finish) has returned; the fields are produced without
+// synchronization on the producer goroutine.
+func (p *Pipeline) Stats() PipelineStats { return p.stats }
 
 // Pipeline sizing defaults: chunks large enough to amortize the channel
 // handoff, a channel deep enough to keep the consumer busy while the
@@ -112,20 +156,38 @@ func (p *Pipeline) push(r prec) {
 		select {
 		case buf := <-p.free:
 			p.chunk = buf
+			p.stats.ChunksReused++
 		default:
 			p.chunk = make([]prec, 0, p.size)
 		}
 	}
 	p.chunk = append(p.chunk, r)
+	p.stats.Events++
 	if len(p.chunk) >= p.size {
 		p.flush()
 	}
 }
 
 func (p *Pipeline) flush() {
-	if len(p.chunk) > 0 {
+	if len(p.chunk) == 0 {
+		return
+	}
+	// Hand off without blocking when the channel has room; when it is
+	// full, the producer is stalled by backpressure — meter that time.
+	select {
+	case p.ch <- p.chunk:
+	default:
+		start := time.Now()
 		p.ch <- p.chunk
-		p.chunk = nil
+		p.stats.StallNanos += time.Since(start).Nanoseconds()
+	}
+	p.chunk = nil
+	p.stats.Chunks++
+	if d := len(p.ch); d > p.stats.MaxQueueDepth {
+		p.stats.MaxQueueDepth = d
+	}
+	if p.DepthGauge != nil {
+		p.DepthGauge.Set(float64(len(p.ch)))
 	}
 }
 
@@ -156,6 +218,9 @@ func (p *Pipeline) Close() {
 	p.flush()
 	close(p.ch)
 	<-p.done
+	if p.DepthGauge != nil {
+		p.DepthGauge.Set(0) // drained
+	}
 }
 
 // apply dispatches one buffered event into h.

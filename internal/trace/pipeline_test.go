@@ -2,7 +2,9 @@ package trace
 
 import (
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"bigfoot/internal/detector"
 	"bigfoot/internal/interp"
@@ -85,5 +87,97 @@ func TestPipelineAllOps(t *testing.T) {
 	p.Close()
 	if !reflect.DeepEqual(rec.Events(), direct) {
 		t.Error("piped hook stream differs from directly recorded stream")
+	}
+}
+
+// TestPipelineStats: the producer-side measurements account for every
+// event and chunk, deterministically where the contract says so.
+func TestPipelineStats(t *testing.T) {
+	rec := NewRecorder(0)
+	p := NewPipeline(rec, 4)
+	const n = 10 // 2 full chunks + a partial flushed by Close
+	for i := 0; i < n; i++ {
+		p.ThreadEnd(i)
+	}
+	p.Close()
+	st := p.Stats()
+	if st.Events != n {
+		t.Errorf("events = %d, want %d", st.Events, n)
+	}
+	if st.Chunks != 3 {
+		t.Errorf("chunks = %d, want 3", st.Chunks)
+	}
+	if st.ChunksReused > st.Chunks {
+		t.Errorf("reused %d chunks out of %d handed off", st.ChunksReused, st.Chunks)
+	}
+	if st.MaxQueueDepth < 0 || st.MaxQueueDepth > DefaultPipelineDepth {
+		t.Errorf("max queue depth %d outside [0, %d]", st.MaxQueueDepth, DefaultPipelineDepth)
+	}
+	if st.StallNanos < 0 {
+		t.Errorf("negative stall %d", st.StallNanos)
+	}
+	if got, want := st.Stall(), time.Duration(st.StallNanos); got != want {
+		t.Errorf("Stall() = %v, want %v", got, want)
+	}
+}
+
+// TestPipelineStatsDeterministicCounts: Events and Chunks depend only
+// on the event stream and chunk size, not on scheduling.
+func TestPipelineStatsDeterministicCounts(t *testing.T) {
+	c, prox := compileBF(t)
+	run := func() PipelineStats {
+		d := detector.New(detector.Config{Name: "BF", Footprints: true, Proxies: prox})
+		p := NewPipeline(d, 8)
+		if _, err := c.Run(p, interp.Options{Seed: 3}); err != nil {
+			t.Fatal(err)
+		}
+		p.Close()
+		return p.Stats()
+	}
+	a, b := run(), run()
+	if a.Events != b.Events || a.Chunks != b.Chunks {
+		t.Errorf("deterministic counts diverged: %+v vs %+v", a, b)
+	}
+	if a.Events == 0 || a.Chunks == 0 {
+		t.Errorf("no events metered: %+v", a)
+	}
+}
+
+// gaugeStub records depth samples.
+type gaugeStub struct {
+	mu      sync.Mutex
+	samples []float64
+}
+
+func (g *gaugeStub) Set(v float64) {
+	g.mu.Lock()
+	g.samples = append(g.samples, v)
+	g.mu.Unlock()
+}
+
+// TestPipelineDepthGauge: the gauge sees one sample per handoff plus a
+// final zero when the pipeline drains.
+func TestPipelineDepthGauge(t *testing.T) {
+	rec := NewRecorder(0)
+	p := NewPipeline(rec, 2)
+	g := &gaugeStub{}
+	p.DepthGauge = g
+	for i := 0; i < 7; i++ {
+		p.ThreadEnd(i)
+	}
+	p.Close()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// 3 full chunks + 1 partial = 4 handoff samples, then the drain zero.
+	if len(g.samples) != 5 {
+		t.Fatalf("samples = %v, want 4 handoffs + drain zero", g.samples)
+	}
+	if last := g.samples[len(g.samples)-1]; last != 0 {
+		t.Errorf("final depth sample = %v, want 0", last)
+	}
+	for _, s := range g.samples {
+		if s < 0 || s > DefaultPipelineDepth {
+			t.Errorf("depth sample %v outside [0, %d]", s, DefaultPipelineDepth)
+		}
 	}
 }
