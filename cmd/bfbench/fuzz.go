@@ -61,7 +61,7 @@ func (sh shard) contains(p int) bool { return p%sh.n == sh.i }
 // program stream is shard-invariant).  Returns 0 when every checked
 // (program, seed) pair agrees, 1 after writing a shrunk repro for the
 // first disagreement, 3 on repro I/O errors.
-func runFuzz(baseSeed int64, nProgs, nSched int, out string, quiet bool, sh shard) int {
+func runFuzz(baseSeed int64, nProgs, nSched int, out string, quiet bool, sh shard, noFast bool) int {
 	rng := rand.New(rand.NewSource(baseSeed))
 	seeds := make([]int64, nSched)
 	for i := range seeds {
@@ -94,14 +94,18 @@ func runFuzz(baseSeed int64, nProgs, nSched int, out string, quiet bool, sh shar
 		}
 		checked++
 		pairsChecked.Store(int64(checked * nSched))
-		dis, err := difftest.CheckGenerated(g, difftest.Options{Seeds: seeds})
+		// CompareFastPaths re-runs each detector with the fast-path knob
+		// inverted and asserts identical observables, so a campaign hunts
+		// fast-path bugs regardless of which setting is primary.
+		opts := difftest.Options{Seeds: seeds, DisableFastPaths: noFast, CompareFastPaths: true}
+		dis, err := difftest.CheckGenerated(g, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bfbench: program %d failed to run: %v\n%s\n", p, err, g.Source)
 			return 1
 		}
 		if dis == nil {
 			var mdis *difftest.Disagreement
-			mdis, err = difftest.CheckMetamorphic(g, difftest.Options{Seeds: seeds})
+			mdis, err = difftest.CheckMetamorphic(g, opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "bfbench: program %d metamorphic variant failed to run: %v\n%s\n", p, err, g.Source)
 				return 1
@@ -109,7 +113,7 @@ func runFuzz(baseSeed int64, nProgs, nSched int, out string, quiet bool, sh shar
 			dis = mdis
 		}
 		if dis != nil {
-			return reportFuzzFailure(p, g, dis, out)
+			return reportFuzzFailure(p, g, dis, out, noFast)
 		}
 		if !quiet && checked%10 == 0 {
 			fmt.Fprintf(os.Stderr, "fuzz: %d/%d programs, %d (program, seed) pairs, no disagreements\n",
@@ -130,7 +134,7 @@ func runFuzz(baseSeed int64, nProgs, nSched int, out string, quiet bool, sh shar
 // reportFuzzFailure shrinks the failing program with respect to "the
 // same detector disagrees the same way", writes the minimal repro, and
 // prints everything needed to reproduce the failure by hand.
-func reportFuzzFailure(p int, g *bfgen.Program, dis *difftest.Disagreement, out string) int {
+func reportFuzzFailure(p int, g *bfgen.Program, dis *difftest.Disagreement, out string, noFast bool) int {
 	src := g.Source
 	var pred func(cand string) bool
 	if strings.HasPrefix(dis.Kind, "metamorphic-") {
@@ -157,6 +161,7 @@ func reportFuzzFailure(p int, g *bfgen.Program, dis *difftest.Disagreement, out 
 		pred = func(cand string) bool {
 			d, err := difftest.CheckSource(cand, difftest.Options{
 				Seeds: []int64{dis.Seed}, MaxSteps: fuzzShrinkMaxSteps,
+				DisableFastPaths: noFast,
 			})
 			return err == nil && d != nil && d.Detector == dis.Detector && d.Kind == dis.Kind
 		}

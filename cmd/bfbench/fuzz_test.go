@@ -14,8 +14,11 @@ import (
 // no disagreement, exits 0, and writes no repro file.
 func TestRunFuzzClean(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "repro.bfj")
-	if code := runFuzz(42, 5, 2, out, true, shard{0, 1}); code != 0 {
+	if code := runFuzz(42, 5, 2, out, true, shard{0, 1}, false); code != 0 {
 		t.Fatalf("clean campaign exited %d, want 0", code)
+	}
+	if code := runFuzz(42, 2, 1, out, true, shard{0, 1}, true); code != 0 {
+		t.Fatalf("clean -no-fast-paths campaign exited %d, want 0", code)
 	}
 	if _, err := os.Stat(out); !os.IsNotExist(err) {
 		t.Errorf("repro file written on a clean campaign (stat err=%v)", err)
@@ -82,7 +85,7 @@ func TestShardedCampaignMatchesUnsharded(t *testing.T) {
 	// A clean mini-campaign across 3 shards exits 0 on each host.
 	for i := 0; i < 3; i++ {
 		out := filepath.Join(t.TempDir(), "repro.bfj")
-		if code := runFuzz(42, 6, 1, out, true, shard{i, 3}); code != 0 {
+		if code := runFuzz(42, 6, 1, out, true, shard{i, 3}, false); code != 0 {
 			t.Errorf("shard %d/3 exited %d, want 0", i, code)
 		}
 	}
@@ -94,7 +97,7 @@ func TestReportFuzzFailureWritesRepro(t *testing.T) {
 	g := bfgen.New(0)
 	dis := &difftest.Disagreement{Detector: "FT", Seed: 0, Kind: "trace", Detail: "synthetic"}
 	out := filepath.Join(t.TempDir(), "repro.bfj")
-	if code := reportFuzzFailure(0, g, dis, out); code != 1 {
+	if code := reportFuzzFailure(0, g, dis, out, false); code != 1 {
 		t.Fatalf("failure report exited %d, want 1", code)
 	}
 	data, err := os.ReadFile(out)

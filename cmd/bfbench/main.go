@@ -13,7 +13,7 @@
 //	        [-cpuprofile f] [-memprofile f] [-trace f] [-metrics-out f]
 //	bfbench -trace-replay dir [-signature path] [-json path] ...
 //	bfbench -fuzz [-fuzz-seeds N] [-fuzz-sched K] [-fuzz-out f] [-seed S]
-//	        [-shard i/n] [-q]
+//	        [-shard i/n] [-no-fast-paths] [-q]
 //
 // -pipeline N runs every execution's detection asynchronously (events
 // chunked N at a time to a detector goroutine over a bounded channel;
@@ -34,6 +34,10 @@
 // -shard i/n deterministically partitions the program space so n hosts
 // running the same -seed split one campaign: host i checks programs
 // with index ≡ i (mod n); the shards are disjoint and exhaustive.
+// -no-fast-paths flips the detectors' epoch-level fast paths off for
+// the campaign's primary runs — the fast-path differential cross-check
+// inside every sweep still compares both settings, so a fast-path bug
+// is caught either way; the flag only changes which side is primary.
 //
 // Without a selection flag, -all is assumed.  -parallel bounds the
 // evaluation worker pool (0 = GOMAXPROCS); results are identical at any
@@ -108,6 +112,7 @@ func run() int {
 		fuzzSched = flag.Int("fuzz-sched", 3, "scheduler seeds swept per generated program")
 		fuzzOut   = flag.String("fuzz-out", "fuzz-repro.bfj", "write the shrunk repro of a -fuzz disagreement here")
 		fuzzShard = flag.String("shard", "", "check only shard i/n of the -fuzz program space (deterministic partition; all hosts use the same -seed)")
+		noFast    = flag.Bool("no-fast-paths", false, "disable the detectors' epoch-level fast paths during -fuzz (the fast-path differential cross-check still runs both ways)")
 		pipeline  = flag.Int("pipeline", 0, "async detection pipeline chunk size (0 = synchronous, <0 = default size)")
 		traceRec  = flag.String("trace-rec", "", "record trial 0 of every configuration as compressed traces into this directory")
 		traceRep  = flag.String("trace-replay", "", "replay a -trace-rec directory offline instead of running workloads")
@@ -134,9 +139,12 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "bfbench: %v\n", err)
 			return 2
 		}
-		return runFuzz(*seed, *fuzzSeeds, *fuzzSched, *fuzzOut, *quiet, sh)
+		return runFuzz(*seed, *fuzzSeeds, *fuzzSched, *fuzzOut, *quiet, sh, *noFast)
 	} else if *fuzzShard != "" {
 		fmt.Fprintln(os.Stderr, "bfbench: -shard requires -fuzz")
+		return 2
+	} else if *noFast {
+		fmt.Fprintln(os.Stderr, "bfbench: -no-fast-paths requires -fuzz")
 		return 2
 	}
 

@@ -21,6 +21,11 @@
 //     array arguments;
 //   - fork/join of method calls (immediately joined, so the serialized
 //     metamorphic variant stays race-free);
+//   - fast-path-sensitive shapes: same-thread access bursts (same-epoch
+//     and ownership fast paths), lock-protected ownership loops (lock
+//     re-acquisition and cross-thread handoffs), and read-shared churn —
+//     two concurrent read-only forks followed by a parent read, driving
+//     the adaptive read metadata through promotion and demotion;
 //   - volatile publication pairs (write side and guarded read side).
 //
 // Programs may or may not race; the differential harness compares each
@@ -119,6 +124,10 @@ const prelude = `class Obj {
     this.g = v + 1;
     release l;
   }
+  method peek(k) {
+    u = this.g;
+    u = u + k;
+  }
 }
 class Vec {
   field x, y, z;
@@ -196,9 +205,10 @@ func (p *Program) Locked() string {
 
 // Serialized renders the single-thread serialization: all thread bodies
 // concatenated into one worker thread in order.  Forks remain, but the
-// grammar only emits immediately-joined forks, so at most one forked
-// thread is live at a time and every access pair is ordered — the
-// variant is race-free on every schedule.
+// grammar only emits forks that are either immediately joined or whose
+// bodies are read-only (the read-shared-churn production's peek calls),
+// so every conflicting access pair is ordered — the variant is
+// race-free on every schedule.
 func (p *Program) Serialized() string {
 	var all []string
 	for _, groups := range p.threads {
@@ -244,9 +254,9 @@ func (g *gen) group(depth int) string {
 
 func (g *gen) stmt(b *strings.Builder, depth int) {
 	r := g.rng
-	n := 16
+	n := 19
 	if g.cfg.NoVolatiles {
-		n = 15
+		n = 18
 	}
 	switch r.Intn(n) {
 	case 0: // field read
@@ -342,7 +352,33 @@ func (g *gen) stmt(b *strings.Builder, depth int) {
 		} else {
 			fmt.Fprintf(b, "  %s.addTo(1, 1, 1);\n", q)
 		}
-	case 15: // volatile publication pair (schedule-sensitive)
+	case 15: // same-thread access burst (same-epoch / ownership fast paths)
+		o := objs[r.Intn(len(objs))]
+		f := flds[r.Intn(len(flds))]
+		a := arrs[r.Intn(len(arrs))]
+		k := r.Intn(16)
+		x, y := g.fresh("sb"), g.fresh("sc")
+		fmt.Fprintf(b, "  %s.%s = %d;\n  %s = %s.%s;\n  %s.%s = %s + 1;\n  %s = %s[%d];\n  %s[%d] = %s + %s;\n",
+			o, f, r.Intn(20), x, o, f, o, f, x, y, a, k, a, k, x, y)
+	case 16: // lock-protected ownership loop (lock re-acquire by one thread;
+		// handoffs happen when two threads draw this production on one lock)
+		o := objs[r.Intn(len(objs))]
+		f := flds[r.Intn(len(flds))]
+		l := []string{"la", "lb"}[r.Intn(2)]
+		v := g.fresh("i")
+		rr := g.fresh("r")
+		fmt.Fprintf(b, "  for (%s = 0; %s < %d; %s = %s + 1) {\n    acquire %s;\n    %s = %s.%s;\n    %s.%s = %s + 1;\n    release %s;\n  }\n",
+			v, v, 2+r.Intn(3), v, v, l, rr, o, f, o, f, rr, l)
+	case 17: // read-shared churn: two concurrent read-only forks promote a
+		// field to read-shared, the parent's read after both joins
+		// re-establishes exclusivity (demotion under adaptive metadata).
+		// peek only reads shared state, so both metamorphic variants stay
+		// race-free even with two forked threads live at once.
+		o := objs[r.Intn(len(objs))]
+		h1, h2, x := g.fresh("h"), g.fresh("h"), g.fresh("x")
+		fmt.Fprintf(b, "  %s = fork %s.peek(%d);\n  %s = fork %s.peek(%d);\n  join %s;\n  join %s;\n  %s = %s.g;\n",
+			h1, o, r.Intn(5), h2, o, r.Intn(5), h1, h2, x, o)
+	case 18: // volatile publication pair (schedule-sensitive)
 		g.sensitive = true
 		o := objs[r.Intn(2)] // o1 or o2 (o3 aliases o1; keep pairs obvious)
 		if r.Intn(2) == 0 {

@@ -74,6 +74,9 @@ func TestGrammarCoverage(t *testing.T) {
 		"o3.",           // static alias accesses
 		"+ 2)",          // non-unit stride
 		"if (",          // branches
+		".peek(",        // read-shared churn (promotion + demotion)
+		"    acquire ",  // lock-protected ownership loop (indented body)
+		"= sb",          // same-thread access burst
 	} {
 		if !strings.Contains(text, marker) {
 			t.Errorf("no generated program used production %q", marker)

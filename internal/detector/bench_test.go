@@ -136,3 +136,71 @@ func BenchmarkSync(b *testing.B) {
 		d.Release(1, lock)
 	}
 }
+
+// BenchmarkFastPath measures each SmartTrack-style fast path in its
+// steady state (BENCH_PR9.json); every sub-benchmark must report
+// 0 allocs/op (also pinned functionally by TestFastPathZeroAllocs).
+//
+//   - same-epoch-read/write: one epoch comparison, no vector clock.
+//   - owned-write: the clock ticks between writes, so same-epoch misses
+//     and the exclusive-ownership install runs.
+//   - demotion-churn: three reads per iteration drive a full
+//     promote → extend → demote cycle of the adaptive read metadata
+//     (concurrent readers inflate to a vector, a dominating reader
+//     collapses it back to an epoch, recycling the vector's storage).
+//   - lock-reacquire: an acquire/release cycle by the owning thread —
+//     the acquire-side join is skipped by the lock-ownership cache and
+//     the release-side snapshot reuses the lock clock's storage.
+func BenchmarkFastPath(b *testing.B) {
+	fc := &interp.FieldCheck{Index: 0, Fields: []string{"f"}}
+	b.Run("same-epoch-read", func(b *testing.B) {
+		d, o := New(Config{Name: "FT"}), benchObject()
+		d.CheckField(1, false, o, fc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.CheckField(1, false, o, fc)
+		}
+	})
+	b.Run("same-epoch-write", func(b *testing.B) {
+		d, o := New(Config{Name: "FT"}), benchObject()
+		d.CheckField(1, true, o, fc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.CheckField(1, true, o, fc)
+		}
+	})
+	b.Run("owned-write", func(b *testing.B) {
+		d, o := New(Config{Name: "FT"}), benchObject()
+		d.CheckField(1, true, o, fc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.clk.vcs[1].Tick(1)
+			d.CheckField(1, true, o, fc)
+		}
+	})
+	b.Run("demotion-churn", func(b *testing.B) {
+		d, o := New(Config{Name: "FT"}), benchObject()
+		demotionClocks(d)
+		driveDemotionCycle(d, o, fc) // warm-up allocates the read vector
+		driveDemotionCycle(d, o, fc) // second cycle grows it to steady size
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			driveDemotionCycle(d, o, fc)
+		}
+	})
+	b.Run("lock-reacquire", func(b *testing.B) {
+		d, lock := New(Config{Name: "FT"}), benchObject()
+		d.Acquire(1, lock)
+		d.Release(1, lock)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Acquire(1, lock)
+			d.Release(1, lock)
+		}
+	})
+}

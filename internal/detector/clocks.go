@@ -21,6 +21,13 @@ type clocks struct {
 	vols map[volKey]vc.VC
 
 	meter shadow.Meter
+
+	// fast enables the lock-ownership cache on the acquire path (see
+	// acquire); lockHits, when non-nil, counts acquires the cache
+	// short-circuited.  Both are zero for the oracle and for detectors
+	// configured with DisableFastPaths.
+	fast     bool
+	lockHits *uint64
 }
 
 type volKey struct {
@@ -29,8 +36,14 @@ type volKey struct {
 }
 
 // lockShadow is the detector-owned state attached to an object used as
-// a lock.
-type lockShadow struct{ v vc.VC }
+// a lock.  owner is the thread whose release installed the current v
+// (-1 before the first release): when that same thread re-acquires, v
+// is a snapshot of its own clock, which only grows, so the acquire-side
+// Join is a guaranteed no-op — the lock-ownership cache skips it.
+type lockShadow struct {
+	v     vc.VC
+	owner int
+}
 
 func (c *clocks) add(delta int) {
 	if c.meter != nil && delta != 0 {
@@ -41,6 +54,17 @@ func (c *clocks) add(delta int) {
 func (c *clocks) now(t int) vc.VC {
 	c.grow(t)
 	return c.vcs[t]
+}
+
+// epoch returns thread t's current epoch clock@t — the only piece of
+// the clock table the same-epoch and ownership fast paths need.  The
+// grow call is kept out of the steady state so the accessor inlines
+// into the check hot path.
+func (c *clocks) epoch(t int) vc.Epoch {
+	if t >= len(c.vcs) {
+		c.grow(t)
+	}
+	return c.vcs[t].Epoch(t)
 }
 
 func (c *clocks) grow(t int) {
@@ -84,19 +108,39 @@ func (c *clocks) lockVC(lock *interp.Object) *lockShadow {
 	if s, ok := lockState(lock); ok {
 		return s
 	}
-	s := &lockShadow{}
+	s := &lockShadow{owner: -1}
 	setLockState(lock, s)
 	return s
 }
 
 func (c *clocks) acquire(t int, lock *interp.Object) {
 	c.grow(t)
-	c.add(c.vcs[t].Join(c.lockVC(lock).v))
+	ls := c.lockVC(lock)
+	if c.fast && ls.owner == t {
+		// Lock-ownership cache: ls.v is a snapshot of t's own clock taken
+		// at t's last release, and thread clocks only grow (ticks, joins;
+		// thread ids are never reused, so fork never replaces a running
+		// thread's clock).  Join(ls.v) would change nothing and grow v by
+		// zero words, so skipping it is both detection- and
+		// census-neutral.
+		if c.lockHits != nil {
+			*c.lockHits++
+		}
+		return
+	}
+	c.add(c.vcs[t].Join(ls.v))
 }
 
 func (c *clocks) release(t int, lock *interp.Object) {
 	c.grow(t)
-	c.lockVC(lock).v = c.vcs[t].Copy()
+	ls := c.lockVC(lock)
+	// Assign reuses the lock clock's storage (Copy would allocate a
+	// fresh snapshot per release), so a steady acquire/release cycle by
+	// one thread is allocation-free.  Semantically identical: a zeroed
+	// tail reads the same as a shorter copy, and lock clocks are
+	// excluded from the space census either way.
+	ls.v.Assign(c.vcs[t])
+	ls.owner = t
 	c.vcs[t].Tick(t)
 }
 

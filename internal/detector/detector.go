@@ -39,6 +39,7 @@ import (
 	"bigfoot/internal/interp"
 	"bigfoot/internal/proxy"
 	"bigfoot/internal/shadow"
+	"bigfoot/internal/vc"
 )
 
 // Config selects a detector variant.
@@ -57,6 +58,14 @@ type Config struct {
 	PeriodicCommit int
 	// Proxies enables static field proxy compression; nil disables.
 	Proxies *proxy.Table
+	// DisableFastPaths turns off the SmartTrack-style epoch-level fast
+	// paths (same-epoch, exclusive-ownership, adaptive read-metadata
+	// demotion, lock-ownership cache) and runs the full vector-clock
+	// protocol on every event.  The fast paths are observationally
+	// neutral — the differential sweep runs every program both ways and
+	// asserts identical signatures and race sets — so this knob exists
+	// for that verification and for ablation timing, not correctness.
+	DisableFastPaths bool
 	// DebugCensus cross-checks the incremental space census against a
 	// full shadow walk at every synchronization operation and at
 	// Finish, panicking on any mismatch.  It exists to validate the
@@ -116,6 +125,27 @@ type Observer interface {
 // detaches).  Must be called before the run starts.
 func (d *Detector) SetObserver(o Observer) { d.obs = o }
 
+// FastPathStats counts hits on each epoch-level fast path plus the
+// adaptive read-metadata transitions.  The counters are plain fields
+// bumped on the run path (no sampling, no allocation) and folded into
+// the metrics registry only after the run ends; none of them enter the
+// deterministic report signature, since the enabled/disabled runs must
+// stay byte-identical there.
+type FastPathStats struct {
+	SameEpochReads  uint64 // reads returned on the R == epoch test alone
+	SameEpochWrites uint64 // writes returned on the W == epoch test alone
+	OwnedReads      uint64 // reads installed via exclusive ownership
+	OwnedWrites     uint64 // writes installed via exclusive ownership
+	ReadPromotions  uint64 // read epoch → read vector inflations
+	ReadDemotions   uint64 // read vector → read epoch collapses (adaptive)
+	LockOwnerHits   uint64 // acquires short-circuited by the lock-ownership cache
+}
+
+// Total returns the combined fast-path hit count (transitions excluded).
+func (f FastPathStats) Total() uint64 {
+	return f.SameEpochReads + f.SameEpochWrites + f.OwnedReads + f.OwnedWrites + f.LockOwnerHits
+}
+
 // Stats are the dynamic cost counters of one run.
 type Stats struct {
 	ShadowOps    uint64 // check-and-update operations on shadow locations
@@ -124,6 +154,8 @@ type Stats struct {
 	ShadowWords  uint64 // current shadow memory, 64-bit words (exact, incremental)
 	PeakWords    uint64 // high-water mark of ShadowWords (exact, incremental)
 	Refinements  int    // array representation changes
+
+	Fast FastPathStats // fast-path hit counters (not part of signatures)
 }
 
 // Detector is the check-driven dynamic race detection engine.
@@ -203,6 +235,8 @@ func New(cfg Config) *Detector {
 		raceKeys: map[raceKey]bool{},
 	}
 	d.clk.meter = d
+	d.clk.fast = !cfg.DisableFastPaths
+	d.clk.lockHits = &d.Stats.Fast.LockOwnerHits
 	return d
 }
 
@@ -314,9 +348,12 @@ func (d *Detector) commit(t int) {
 		sh := d.compShadow(a)
 		before := sh.Mode()
 		refsBefore := sh.Refinements
+		promosBefore, demosBefore := sh.Promotions, sh.Demotions
 		races, ops := sh.CommitAt(e.Write, t, now, e.Lo, e.Hi, e.Step, e.Pos)
 		d.Stats.ShadowOps += ops
 		d.Stats.Refinements += sh.Refinements - refsBefore
+		d.Stats.Fast.ReadPromotions += sh.Promotions - promosBefore
+		d.Stats.Fast.ReadDemotions += sh.Demotions - demosBefore
 		for _, r := range races {
 			d.reportArrayRace(r, a, e)
 		}
@@ -343,23 +380,31 @@ func (d *Detector) commit(t int) {
 // ---------------------------------------------------------------------------
 
 // site returns the cached per-site resolution for fc, computing it on
-// first encounter: the site's field list is mapped through the proxy
-// table (one GroupsOf per site, not per event) and each distinct group
-// key is interned to a dense shadow slot.
+// first encounter via siteSlow: the site's field list is mapped through
+// the proxy table (one GroupsOf per site, not per event) and each
+// distinct group key is interned to a dense shadow slot.  The resolved
+// case is branch-only so the accessor inlines into the check hot path.
 func (d *Detector) site(fc *interp.FieldCheck) *fieldSite {
+	if fc.Index < len(d.sites) {
+		if s := &d.sites[fc.Index]; s.slots != nil {
+			return s
+		}
+	}
+	return d.siteSlow(fc)
+}
+
+func (d *Detector) siteSlow(fc *interp.FieldCheck) *fieldSite {
 	for len(d.sites) <= fc.Index {
 		d.sites = append(d.sites, fieldSite{})
 	}
 	s := &d.sites[fc.Index]
-	if s.slots == nil {
-		keys := fc.Fields
-		if d.cfg.Proxies != nil {
-			keys = d.cfg.Proxies.GroupsOf(fc.Fields)
-		}
-		s.slots = make([]int, len(keys))
-		for i, k := range keys {
-			s.slots[i] = d.slotOf(k)
-		}
+	keys := fc.Fields
+	if d.cfg.Proxies != nil {
+		keys = d.cfg.Proxies.GroupsOf(fc.Fields)
+	}
+	s.slots = make([]int, len(keys))
+	for i, k := range keys {
+		s.slots[i] = d.slotOf(k)
 	}
 	return s
 }
@@ -381,19 +426,72 @@ func (d *Detector) slotOf(key string) int {
 // provenance.  The no-race fast path does no string work and no
 // allocation: group resolution is cached per site and shadow states
 // live in a slot-indexed slice.
+//
+// Unless DisableFastPaths is set, two epoch-level fast paths run before
+// the vector-clock protocol (SmartTrack-style): a same-epoch hit
+// returns after one word comparison, and an access to a location the
+// current thread exclusively owns installs its epoch with no
+// happens-before comparison at all.  Both count as a shadow operation —
+// the ShadowOps column of the deterministic reports must not depend on
+// which path handled the event.
 func (d *Detector) CheckField(t int, write bool, o *interp.Object, fc *interp.FieldCheck) {
 	if d.cfg.TestDropFieldChecks {
 		return
 	}
 	site := d.site(fc)
-	pos := firstPos(fc.Poss)
 	sh := d.objShadow(o)
-	now := d.clk.now(t)
+	fast := !d.cfg.DisableFastPaths
+	var e vc.Epoch
+	var now vc.VC
+	haveNow := false
+	if fast {
+		e = d.clk.epoch(t)
+	} else {
+		now = d.clk.now(t)
+		haveNow = true
+	}
 	for _, slot := range site.slots {
 		for len(sh.states) <= slot {
 			sh.states = append(sh.states, shadow.State{})
 		}
 		st := &sh.states[slot]
+		if fast {
+			// Same-epoch: a read-shared state has R == 0 ≠ e, and a
+			// touched epoch is never zero, so one comparison suffices.
+			// Provenance is untouched — the position of the epoch's first
+			// access is kept, matching the slow path's same-epoch return.
+			if write {
+				if st.W == e {
+					d.Stats.Fast.SameEpochWrites++
+					d.Stats.ShadowOps++
+					continue
+				}
+			} else if st.R == e {
+				d.Stats.Fast.SameEpochReads++
+				d.Stats.ShadowOps++
+				continue
+			}
+			// Exclusive ownership: every recorded epoch belongs to t, so
+			// the access cannot race and the new epoch installs directly.
+			// Owned states are never read-shared, so Words() is unchanged
+			// and the census needs no delta.
+			if st.Owned(t) {
+				if write {
+					st.InstallWrite(e, firstPos(fc.Poss))
+					d.Stats.Fast.OwnedWrites++
+				} else {
+					st.InstallRead(e, firstPos(fc.Poss))
+					d.Stats.Fast.OwnedReads++
+				}
+				d.Stats.ShadowOps++
+				continue
+			}
+		}
+		if !haveNow {
+			now = d.clk.now(t)
+			haveNow = true
+		}
+		pos := firstPos(fc.Poss)
 		// First touch charges the state's two base words; afterwards
 		// only read-vector growth/deflation moves the census.
 		before := 0
@@ -401,13 +499,20 @@ func (d *Detector) CheckField(t int, write bool, o *interp.Object, fc *interp.Fi
 			before = st.Words()
 		}
 		wasShared := st.Shared()
-		r := st.ApplyAt(write, t, now, pos)
+		r := st.ApplyAdaptive(write, t, now, pos, fast)
 		d.AddWords(st.Words() - before)
 		if r != nil {
 			d.reportFieldRace(r, o, slot)
 		}
-		if d.obs != nil && !wasShared && st.Shared() {
-			d.obs.ReadShared(t, fmt.Sprintf("%s#%d.%s", o.Class.Name, o.ID, d.slotKeys[slot]))
+		if shared := st.Shared(); shared != wasShared {
+			if shared {
+				d.Stats.Fast.ReadPromotions++
+				if d.obs != nil {
+					d.obs.ReadShared(t, fmt.Sprintf("%s#%d.%s", o.Class.Name, o.ID, d.slotKeys[slot]))
+				}
+			} else if !write {
+				d.Stats.Fast.ReadDemotions++
+			}
 		}
 		d.Stats.ShadowOps++
 	}
@@ -425,16 +530,62 @@ func (d *Detector) CheckRange(t int, write bool, a *interp.Array, lo, hi, step i
 		}
 		return
 	}
-	// Fine-grained mode (FT/RC): one shadow location per element.
+	// Fine-grained mode (FT/RC): one shadow location per element, with
+	// the same epoch-level fast paths as CheckField.
 	sh := d.fineShadow(a)
-	now := d.clk.now(t)
+	fast := !d.cfg.DisableFastPaths
+	var e vc.Epoch
+	var now vc.VC
+	haveNow := false
+	if fast {
+		e = d.clk.epoch(t)
+	} else {
+		now = d.clk.now(t)
+		haveNow = true
+	}
 	for i := lo; i < hi; i += step {
 		st := &sh.states[i]
+		if fast {
+			if write {
+				if st.W == e {
+					d.Stats.Fast.SameEpochWrites++
+					d.Stats.ShadowOps++
+					continue
+				}
+			} else if st.R == e {
+				d.Stats.Fast.SameEpochReads++
+				d.Stats.ShadowOps++
+				continue
+			}
+			if st.Owned(t) {
+				if write {
+					st.InstallWrite(e, pos)
+					d.Stats.Fast.OwnedWrites++
+				} else {
+					st.InstallRead(e, pos)
+					d.Stats.Fast.OwnedReads++
+				}
+				d.Stats.ShadowOps++
+				continue
+			}
+		}
+		if !haveNow {
+			now = d.clk.now(t)
+			haveNow = true
+		}
 		before := st.Words()
-		r := st.ApplyAt(write, t, now, pos)
+		wasShared := st.Shared()
+		r := st.ApplyAdaptive(write, t, now, pos, fast)
 		d.AddWords(st.Words() - before)
 		if r != nil {
 			d.reportArrayRace(r, a, footprint.Entry{Lo: i, Hi: i + 1, Step: 1, Write: write})
+		}
+		if shared := st.Shared(); shared != wasShared {
+			if shared {
+				d.Stats.Fast.ReadPromotions++
+			} else if !write {
+				d.Stats.Fast.ReadDemotions++
+			}
 		}
 		d.Stats.ShadowOps++
 	}
@@ -450,10 +601,18 @@ func firstPos(poss []bfj.Pos) bfj.Pos {
 	return bfj.Pos{}
 }
 
+// objShadow returns the object's field shadow, installing one on first
+// touch via objShadowSlow.  The installed case is a single type
+// assertion so the accessor inlines into the check hot path.
 func (d *Detector) objShadow(o *interp.Object) *objShadow {
-	switch s := o.Shadow.(type) {
-	case *objShadow:
+	if s, ok := o.Shadow.(*objShadow); ok {
 		return s
+	}
+	return d.objShadowSlow(o)
+}
+
+func (d *Detector) objShadowSlow(o *interp.Object) *objShadow {
+	switch s := o.Shadow.(type) {
 	case *shadowPair:
 		if s.obj != nil {
 			return s.obj
@@ -493,6 +652,7 @@ func (d *Detector) compShadow(a *interp.Array) *shadow.ArrayShadow {
 	}
 	s := shadow.NewArrayShadow(a.Len())
 	s.SetMeter(d)
+	s.DemoteReads = !d.cfg.DisableFastPaths
 	a.Shadow = s
 	d.arrComp = append(d.arrComp, s)
 	d.AddWords(s.Words())

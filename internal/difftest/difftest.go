@@ -64,7 +64,7 @@ func Variants(base *bfj.Program) []Variant {
 type Disagreement struct {
 	Detector string
 	Seed     int64
-	Kind     string // "trace", "address", "check-count", "counter", "metamorphic-locked", "metamorphic-serialized"
+	Kind     string // "trace", "address", "check-count", "counter", "fastpath", "metamorphic-locked", "metamorphic-serialized"
 	Detail   string
 }
 
@@ -85,6 +85,18 @@ type Options struct {
 	CheckCounts bool
 	// MaxSteps bounds each execution (0 = interpreter default).
 	MaxSteps uint64
+	// DisableFastPaths runs every detector with the epoch-level fast
+	// paths off (detector.Config.DisableFastPaths), so a sweep can
+	// exercise the pure vector-clock protocol end to end.
+	DisableFastPaths bool
+	// CompareFastPaths additionally re-runs each (variant, seed) pair
+	// with the fast-path setting inverted and asserts the two runs are
+	// observationally identical: same sorted race set and same
+	// deterministic cost counters (shadow/footprint/sync ops,
+	// refinements).  Space columns are exempt — adaptive demotion is
+	// allowed to shrink them.  A divergence is reported as a
+	// Disagreement of Kind "fastpath".
+	CompareFastPaths bool
 	// Fault, when non-nil, mutates each variant's detector configuration
 	// before the run — the fault-injection hook used to prove broken
 	// detectors are caught (e.g. set TestDropFieldChecks on FT).
@@ -132,6 +144,7 @@ func CheckProgram(base *bfj.Program, opts Options) (*Disagreement, error) {
 			// mismatch), so the sweep and the regress corpus double as the
 			// census-accounting validation suite.
 			cfg.DebugCensus = true
+			cfg.DisableFastPaths = opts.DisableFastPaths
 			if opts.Fault != nil {
 				opts.Fault(v.Name, &cfg)
 			}
@@ -146,6 +159,17 @@ func CheckProgram(base *bfj.Program, opts Options) (*Disagreement, error) {
 			}
 			if dis := checkCounters(v.Name, seed, cfg, d); dis != nil {
 				return dis, nil
+			}
+			if opts.CompareFastPaths {
+				alt := cfg
+				alt.DisableFastPaths = !cfg.DisableFastPaths
+				d2 := detector.New(alt)
+				if _, err := compiled[i].Run(d2, interp.Options{Seed: seed, MaxSteps: opts.MaxSteps}); err != nil {
+					return nil, fmt.Errorf("%s seed %d: fast-path-inverted run: %w", v.Name, seed, err)
+				}
+				if dis := compareFastPaths(v.Name, seed, d, d2); dis != nil {
+					return dis, nil
+				}
 			}
 			switch v.Name {
 			case "FT":
@@ -207,6 +231,39 @@ func comparePrecision(name string, seed int64, cfg detector.Config, d *detector.
 					Detail: fmt.Sprintf("reported field race %s not racy per oracle", r.Desc)}
 			}
 		}
+	}
+	return nil
+}
+
+// compareFastPaths asserts the fast-path neutrality contract: the run
+// with fast paths enabled and the run with them disabled (same program,
+// same schedule) must report the same race set and the same
+// deterministic cost counters.  Space columns (ShadowWords/PeakWords)
+// are deliberately not compared — adaptive demotion may shrink them,
+// which the one-sided report diff also permits.
+func compareFastPaths(name string, seed int64, a, b *detector.Detector) *Disagreement {
+	fail := func(detail string) *Disagreement {
+		return &Disagreement{Detector: name, Seed: seed, Kind: "fastpath", Detail: detail}
+	}
+	da, db := a.SortedRaceDescs(), b.SortedRaceDescs()
+	if len(da) != len(db) {
+		return fail(fmt.Sprintf("race count diverges with fast paths toggled: %v vs %v", da, db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			return fail(fmt.Sprintf("race set diverges with fast paths toggled: %v vs %v", da, db))
+		}
+	}
+	sa, sb := a.Stats, b.Stats
+	switch {
+	case sa.ShadowOps != sb.ShadowOps:
+		return fail(fmt.Sprintf("shadow ops diverge with fast paths toggled: %d vs %d", sa.ShadowOps, sb.ShadowOps))
+	case sa.FootprintOps != sb.FootprintOps:
+		return fail(fmt.Sprintf("footprint ops diverge with fast paths toggled: %d vs %d", sa.FootprintOps, sb.FootprintOps))
+	case sa.SyncOps != sb.SyncOps:
+		return fail(fmt.Sprintf("sync ops diverge with fast paths toggled: %d vs %d", sa.SyncOps, sb.SyncOps))
+	case sa.Refinements != sb.Refinements:
+		return fail(fmt.Sprintf("refinements diverge with fast paths toggled: %d vs %d", sa.Refinements, sb.Refinements))
 	}
 	return nil
 }

@@ -38,7 +38,10 @@ func TestDeterministicSweep(t *testing.T) {
 		for i := range seeds {
 			seeds[i] = int64(i)
 		}
-		dis, err := CheckGenerated(g, Options{Seeds: seeds})
+		// CompareFastPaths re-runs every pair with the fast paths toggled
+		// and asserts observational equality, so the sweep also proves the
+		// SmartTrack-style fast paths neutral on every generated program.
+		dis, err := CheckGenerated(g, Options{Seeds: seeds, CompareFastPaths: true})
 		if err != nil {
 			t.Fatalf("program %d: %v\n%s", p, err, g.Source)
 		}
@@ -73,7 +76,7 @@ func FuzzDifferential(f *testing.F) {
 	f.Fuzz(func(t *testing.T, genSeed, schedSeed int64) {
 		g := bfgen.New(genSeed)
 		seeds := []int64{schedSeed, schedSeed + 1}
-		dis, err := CheckGenerated(g, Options{Seeds: seeds})
+		dis, err := CheckGenerated(g, Options{Seeds: seeds, CompareFastPaths: true})
 		if err != nil {
 			t.Fatalf("generator seed %d: %v\n%s", genSeed, err, g.Source)
 		}

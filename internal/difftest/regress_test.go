@@ -70,7 +70,7 @@ func TestRegressCorpus(t *testing.T) {
 			if sawRace != wantRacy {
 				t.Errorf("oracle classification: racy=%v, expect directive says racy=%v", sawRace, wantRacy)
 			}
-			if dis, err := CheckSource(src, Options{Seeds: regressSeeds}); err != nil {
+			if dis, err := CheckSource(src, Options{Seeds: regressSeeds, CompareFastPaths: true}); err != nil {
 				t.Fatal(err)
 			} else if dis != nil {
 				t.Errorf("detector/oracle disagreement: %s", dis)

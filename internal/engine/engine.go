@@ -433,6 +433,10 @@ type RunSpec struct {
 	// DebugCensus cross-checks the incremental space census (slow;
 	// diagnostic only).
 	DebugCensus bool
+	// DisableFastPaths turns off the detector's epoch-level fast paths
+	// and adaptive read demotion (observationally neutral; diagnostic
+	// and A/B benchmarking only).
+	DisableFastPaths bool
 	// CountChecks tallies executed field vs. array check items into the
 	// outcome (the Figure 8 split).
 	CountChecks bool
@@ -467,6 +471,12 @@ type Outcome struct {
 
 	FieldChecks uint64
 	ArrayChecks uint64
+
+	// FastPaths counts the detector's epoch-level fast-path hits and
+	// adaptive read-metadata transitions (all zero when the run had
+	// DisableFastPaths set, except promotions, which FastTrack always
+	// performs).
+	FastPaths detector.FastPathStats
 
 	// Pipeline carries the streaming pipeline's drain and backpressure
 	// measurements; nil when the run was synchronous (PipelineChunk 0).
@@ -509,10 +519,11 @@ func (e *Engine) Run(ctx context.Context, v *Variant, spec RunSpec) (*Outcome, e
 		name = v.Name
 	}
 	d := detector.New(detector.Config{
-		Name:        name,
-		Footprints:  v.Footprints,
-		Proxies:     v.Proxies,
-		DebugCensus: spec.DebugCensus,
+		Name:             name,
+		Footprints:       v.Footprints,
+		Proxies:          v.Proxies,
+		DebugCensus:      spec.DebugCensus,
+		DisableFastPaths: spec.DisableFastPaths,
 	})
 	var hook interp.Hook = d
 	var counting *countingHook
@@ -572,6 +583,7 @@ func (e *Engine) Run(ctx context.Context, v *Variant, spec RunSpec) (*Outcome, e
 	out.PeakWords = d.Stats.PeakWords
 	out.Races = d.Races()
 	out.ArrayModes = d.ArrayModes()
+	out.FastPaths = d.Stats.Fast
 	if counting != nil {
 		out.FieldChecks, out.ArrayChecks = counting.fields, counting.arrays
 	}

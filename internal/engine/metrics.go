@@ -25,6 +25,7 @@ type engineMetrics struct {
 	shadowOps  *metrics.CounterVec // variant
 	footOps    *metrics.CounterVec // variant
 	races      *metrics.CounterVec // variant
+	fastHits   *metrics.CounterVec // variant, path
 
 	pipeEvents   *metrics.Counter
 	pipeChunks   *metrics.Counter
@@ -59,6 +60,9 @@ func newEngineMetrics(r *metrics.Registry) engineMetrics {
 			"detector footprint operations, folded in at run end", "variant"),
 		races: r.CounterVec("bigfoot_engine_races_total",
 			"distinct races reported, folded in at run end", "variant"),
+		fastHits: r.CounterVec("bigfoot_engine_fastpath_hits_total",
+			"detector fast-path hits and adaptive read-metadata transitions by path (same_epoch_read, same_epoch_write, owned_read, owned_write, lock_owner, read_promotion, read_demotion), folded in at run end",
+			"variant", "path"),
 		pipeEvents: r.Counter("bigfoot_pipeline_events_total",
 			"hook events that entered streaming pipelines"),
 		pipeChunks: r.Counter("bigfoot_pipeline_chunks_total",
@@ -102,6 +106,22 @@ func (e *Engine) observeRun(variant string, out *Outcome, err error) {
 	m.shadowOps.With(variant).Add(float64(out.ShadowOps))
 	m.footOps.With(variant).Add(float64(out.FootprintOps))
 	m.races.With(variant).Add(float64(len(out.Races)))
+	for _, fp := range []struct {
+		path string
+		n    uint64
+	}{
+		{"same_epoch_read", out.FastPaths.SameEpochReads},
+		{"same_epoch_write", out.FastPaths.SameEpochWrites},
+		{"owned_read", out.FastPaths.OwnedReads},
+		{"owned_write", out.FastPaths.OwnedWrites},
+		{"lock_owner", out.FastPaths.LockOwnerHits},
+		{"read_promotion", out.FastPaths.ReadPromotions},
+		{"read_demotion", out.FastPaths.ReadDemotions},
+	} {
+		if fp.n != 0 {
+			m.fastHits.With(variant, fp.path).Add(float64(fp.n))
+		}
+	}
 	if st := out.Pipeline; st != nil {
 		m.pipeEvents.Add(float64(st.Events))
 		m.pipeChunks.Add(float64(st.Chunks))

@@ -108,6 +108,52 @@ func TestEngineObservesRuns(t *testing.T) {
 	if got := seriesValue(snap, "bigfoot_pipeline_events_total"); got != float64(out.Pipeline.Events) {
 		t.Errorf("pipeline_events_total = %v, want %d", got, out.Pipeline.Events)
 	}
+	fp := out.FastPaths
+	wantFast := float64(fp.Total() + fp.ReadPromotions + fp.ReadDemotions)
+	var gotFast float64
+	for _, f := range snap {
+		if f.Name != "bigfoot_engine_fastpath_hits_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			gotFast += s.Value
+		}
+	}
+	if gotFast != wantFast {
+		t.Errorf("fastpath_hits_total sum = %v, want %v (outcome %+v)", gotFast, wantFast, fp)
+	}
+	if got := seriesValue(snap, "bigfoot_engine_fastpath_hits_total",
+		"variant", "BF", "path", "same_epoch_read"); got != float64(fp.SameEpochReads) {
+		t.Errorf("fastpath_hits_total{BF,same_epoch_read} = %v, want %d", got, fp.SameEpochReads)
+	}
+}
+
+// TestRunSpecDisableFastPaths: the knob reaches the detector (no hits
+// are counted) without changing the run's findings.
+func TestRunSpecDisableFastPaths(t *testing.T) {
+	e := New(Options{})
+	art, _, err := e.BuildSource(racy, BuildSpec{Variants: []string{"FT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := e.Run(context.Background(), art.Variant("FT"), RunSpec{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := e.Run(context.Background(), art.Variant("FT"), RunSpec{Seed: 3, DisableFastPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.FastPaths.Total() == 0 {
+		t.Errorf("default run hit no fast paths: %+v", fast.FastPaths)
+	}
+	if n := slow.FastPaths.Total(); n != 0 {
+		t.Errorf("disabled run still counted %d fast-path hits: %+v", n, slow.FastPaths)
+	}
+	if len(fast.Races) != len(slow.Races) || fast.ShadowOps != slow.ShadowOps {
+		t.Errorf("knob changed observables: %d/%d races, %d/%d shadow ops",
+			len(fast.Races), len(slow.Races), fast.ShadowOps, slow.ShadowOps)
+	}
 }
 
 // TestEngineMetricsNeutral: attaching a registry must not change a

@@ -83,6 +83,13 @@ func (s *State) Read(t int, now vc.VC) *Race { return s.ReadAt(t, now, bfj.Pos{}
 // ReadAt is Read with the source position of the reading access, recorded
 // for race provenance.
 func (s *State) ReadAt(t int, now vc.VC, pos bfj.Pos) *Race {
+	return s.readAt(t, now, pos, false)
+}
+
+// readAt is the read check-and-update; demote additionally enables the
+// SmartTrack-style adaptive demotion of read-shared state (see
+// ReadAtAdaptive).
+func (s *State) readAt(t int, now vc.VC, pos bfj.Pos, demote bool) *Race {
 	e := now.Epoch(t)
 	if !s.shared() && s.R == e {
 		return nil // same epoch (position of the epoch's first read is kept)
@@ -93,6 +100,21 @@ func (s *State) ReadAt(t int, now vc.VC, pos bfj.Pos) *Race {
 			PrevPos: s.wpos, CurPos: pos}
 	}
 	if s.shared() {
+		if demote && s.RV.LEQ(now) {
+			// Demotion: every recorded read happens-before this one, so
+			// the reading thread has re-established exclusivity and a
+			// single epoch carries the same information.  Any later
+			// access u that races with a dropped read epoch also races
+			// with e (RV ⪯ now implies now ⪯ VC_u whenever e ⪯ VC_u, by
+			// the vector-clock property), so detection is unchanged; only
+			// the racing thread reported as PrevTID may differ, which the
+			// deterministic signatures deliberately exclude.  Clear keeps
+			// the vector's storage for the next promotion.
+			s.RV.Clear()
+			s.R = e
+			s.rpos = pos
+			return race
+		}
 		s.RV.Set(t, e.Clock())
 		s.rpos = pos
 		return race
@@ -102,13 +124,25 @@ func (s *State) ReadAt(t int, now vc.VC, pos bfj.Pos) *Race {
 		s.rpos = pos
 		return race
 	}
-	// Concurrent reads: inflate to a read vector.
-	s.RV = vc.New(max(s.R.TID(), t) + 1)
+	// Concurrent reads: inflate to a read vector.  Set re-extends any
+	// storage a previous demotion left behind (see Clear), so a
+	// promote↔demote churn cycle allocates at most once.
+	s.RV.Set(max(s.R.TID(), t), 0)
 	s.RV.Set(s.R.TID(), s.R.Clock())
 	s.RV.Set(t, e.Clock())
 	s.R = 0
 	s.rpos = pos
 	return race
+}
+
+// ReadAtAdaptive is ReadAt with adaptive read metadata: when the
+// location is read-shared but every recorded read happens-before this
+// one, the read vector collapses back to a single epoch (SmartTrack's
+// metadata demotion), shrinking the state by the vector's words.
+// Detection is unchanged — only PrevTID attribution of a later
+// read-write race may differ, which deterministic signatures exclude.
+func (s *State) ReadAtAdaptive(t int, now vc.VC, pos bfj.Pos) *Race {
+	return s.readAt(t, now, pos, true)
 }
 
 // Write performs the FastTrack write check-and-update.
@@ -131,7 +165,7 @@ func (s *State) WriteAt(t int, now vc.VC, pos bfj.Pos) *Race {
 			race = &Race{PrevTID: u, CurTID: t, IsWrite: true, PrevW: false,
 				PrevPos: s.rpos, CurPos: pos}
 		}
-		s.RV = vc.VC{} // deflate: reads are now ordered or reported
+		s.RV.Clear() // deflate: reads are now ordered or reported
 	} else if !s.R.IsZero() && !s.R.LEQ(now) && race == nil {
 		race = &Race{PrevTID: s.R.TID(), CurTID: t, IsWrite: true, PrevW: false,
 			PrevPos: s.rpos, CurPos: pos}
@@ -154,6 +188,58 @@ func (s *State) ApplyAt(write bool, t int, now vc.VC, pos bfj.Pos) *Race {
 		return s.WriteAt(t, now, pos)
 	}
 	return s.ReadAt(t, now, pos)
+}
+
+// ApplyAdaptive is ApplyAt with read-metadata demotion switched by the
+// caller's configuration (detector.Config.DisableFastPaths): reads go
+// through ReadAtAdaptive when demote is set.  Writes are unaffected —
+// write-triggered deflation is part of the base protocol.
+func (s *State) ApplyAdaptive(write bool, t int, now vc.VC, pos bfj.Pos, demote bool) *Race {
+	if write {
+		return s.WriteAt(t, now, pos)
+	}
+	return s.readAt(t, now, pos, demote)
+}
+
+// Owned reports whether thread t exclusively owns the location: the
+// state is not read-shared, every recorded epoch (last write and last
+// read, at least one of which exists) belongs to t.  An owned
+// location's epochs are trivially ⪯ t's own clock, so a new access by t
+// cannot race and needs no vector-clock comparison at all — the caller
+// installs the new epoch directly (InstallRead/InstallWrite).  An
+// untouched state is not owned: its first access must charge the census
+// through the full path.
+func (s *State) Owned(t int) bool {
+	if s.shared() {
+		return false
+	}
+	if s.W != 0 && s.W.TID() != t {
+		return false
+	}
+	if s.R != 0 && s.R.TID() != t {
+		return false
+	}
+	return s.W != 0 || s.R != 0
+}
+
+// InstallRead records a read already proven race-free (the ownership
+// fast path): the read epoch replaces R with no checks and no footprint
+// change.  Callers must have established Owned(t) for the reading
+// thread.
+func (s *State) InstallRead(e vc.Epoch, pos bfj.Pos) {
+	s.R = e
+	s.rpos = pos
+}
+
+// InstallWrite records a write already proven race-free (the ownership
+// fast path), mirroring WriteAt's state transition: the write epoch
+// replaces W and clears the read epoch.  Callers must have established
+// Owned(t) for the writing thread.
+func (s *State) InstallWrite(e vc.Epoch, pos bfj.Pos) {
+	s.W = e
+	s.R = 0
+	s.wpos = pos
+	s.rpos = bfj.Pos{}
 }
 
 // Words reports the state's size in 64-bit words for the space census:
@@ -223,6 +309,18 @@ type ArrayShadow struct {
 
 	// Refinements counts representation changes (reported in ablations).
 	Refinements int
+
+	// DemoteReads enables SmartTrack-style read-metadata demotion in the
+	// per-state transitions (see State.ReadAtAdaptive).  Off by default
+	// so existing callers keep plain FastTrack semantics.
+	DemoteReads bool
+
+	// Promotions and Demotions count epoch→vector and vector→epoch read
+	// metadata transitions across all states of this shadow (a write
+	// deflating a read vector is part of the base protocol and is not
+	// counted as a demotion).
+	Promotions  uint64
+	Demotions   uint64
 
 	// words caches the current footprint so Words is O(1); every
 	// internal transition funnels its delta through addw, which also
@@ -316,8 +414,20 @@ func (a *ArrayShadow) CommitAt(write bool, t int, now vc.VC, lo, hi, step int, p
 	var ops uint64
 	apply := func(s *State) {
 		before := s.Words()
-		if r := s.ApplyAt(write, t, now, pos); r != nil {
+		sharedBefore := s.Shared()
+		if r := s.ApplyAdaptive(write, t, now, pos, a.DemoteReads); r != nil {
 			races = append(races, r)
+		}
+		if sharedBefore != s.Shared() {
+			if sharedBefore {
+				// A write deflating the vector is base-protocol, not an
+				// adaptive demotion.
+				if !write {
+					a.Demotions++
+				}
+			} else {
+				a.Promotions++
+			}
 		}
 		a.addw(s.Words() - before)
 		ops++
@@ -418,9 +528,11 @@ func (a *ArrayShadow) splitAt(k int) {
 }
 
 func cloneState(s State) State {
-	if s.RV.Len() > 0 {
-		s.RV = s.RV.Copy()
-	}
+	// Copy unconditionally: a demotion-cleared read vector has length 0
+	// but retains capacity, and a struct copy would share that backing
+	// array — a later re-inflation of either copy would then clobber the
+	// other's live components.  Copying an empty vector is free.
+	s.RV = s.RV.Copy()
 	return s
 }
 

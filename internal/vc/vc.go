@@ -73,12 +73,35 @@ func (v *VC) Tick(t int) {
 }
 
 func (v *VC) grow(n int) {
-	if n > len(v.c) {
-		nc := make([]uint64, n)
-		copy(nc, v.c)
-		v.c = nc
+	if n <= len(v.c) {
+		return
 	}
+	if n <= cap(v.c) {
+		// Re-extend into spare capacity (left behind by Clear), zeroing
+		// the revived components: their old values are stale history.
+		old := len(v.c)
+		v.c = v.c[:n]
+		for i := old; i < n; i++ {
+			v.c[i] = 0
+		}
+		return
+	}
+	nc := make([]uint64, n)
+	copy(nc, v.c)
+	v.c = nc
 }
+
+// Clear empties the clock (Len and Words drop to 0) but keeps the
+// underlying storage, so a later Set or Join re-extends without
+// allocating.  Adaptive shadow state uses this for read-vector demotion:
+// the epoch↔vector transitions of a churning location recycle one
+// buffer instead of allocating per promotion.  The spare capacity is
+// deliberately excluded from Words — the census models live shadow
+// state, and a cleared vector is logically gone.
+//
+// Callers must not Clear a clock whose storage may be shared with a
+// struct-copied VC (Copy always detaches; plain assignment does not).
+func (v *VC) Clear() { v.c = v.c[:0] }
 
 // Join sets v to the pointwise maximum of v and o.  It returns the
 // number of words v grew by, so callers maintaining an incremental
