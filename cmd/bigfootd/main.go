@@ -5,6 +5,7 @@
 // Usage:
 //
 //	bigfootd [-addr :8347] [-cache 64] [-max-steps N] [-max-timeout D]
+//	         [-max-in-flight N] [-max-queue N] [-cache-dir DIR]
 //	         [-trace-dir DIR] [-pipeline N] [-log-json] [-v]
 //
 // Endpoints:
@@ -28,9 +29,17 @@
 // an X-Bigfoot-Trace header so clients can find their recording.
 //
 // Compiled artifacts are cached (bounded LRU, content-addressed), so
-// resubmitting a program pays no parse/instrument/compile cost.  On
-// SIGINT/SIGTERM the daemon stops admitting sessions, drains the ones
-// in flight, and exits 0; a second signal aborts immediately.
+// resubmitting a program pays no parse/instrument/compile cost.  With
+// -cache-dir the cache's rebuild manifest is persisted on graceful
+// shutdown and re-derived in the background on boot, so a restarted
+// daemon answers resubmissions warm.
+//
+// Admission is bounded: at most -max-in-flight sessions run while up
+// to -max-queue wait in a FIFO; beyond that submissions are refused
+// immediately with 429 "overloaded" and a Retry-After header.  On
+// SIGINT/SIGTERM the daemon stops admitting sessions, rejects queued
+// ones with 503, drains the running ones, and exits 0; a second signal
+// aborts immediately.
 //
 // All diagnostics go to stderr; stdout stays silent so the daemon can
 // run under supervisors that capture streams separately.
@@ -64,6 +73,9 @@ func run() int {
 		maxSteps   = flag.Uint64("max-steps", service.DefaultMaxSteps, "per-execution step budget cap")
 		maxTimeout = flag.Duration("max-timeout", service.DefaultTimeout, "per-session wall-clock budget cap")
 		drainFor   = flag.Duration("drain-timeout", time.Minute, "grace period for in-flight sessions on shutdown")
+		maxInFly   = flag.Int("max-in-flight", service.DefaultMaxInFlight, "max concurrently running sessions (negative = unlimited)")
+		maxQueue   = flag.Int("max-queue", service.DefaultMaxQueue, "max sessions waiting for a slot before 429 (negative = no queue)")
+		cacheDir   = flag.String("cache-dir", "", "persist the artifact cache manifest here on shutdown and warm from it on boot")
 		traceDir   = flag.String("trace-dir", "", "record every run as compressed traces under this directory")
 		pipeline   = flag.Int("pipeline", 0, "run detection behind the async chunked pipeline (events per chunk; 0 = synchronous, -1 = default chunk size)")
 		logJSON    = flag.Bool("log-json", false, "emit the access log as JSON lines instead of text")
@@ -88,13 +100,16 @@ func run() int {
 
 	reg := metrics.NewRegistry()
 	svc := service.New(service.Config{
-		CacheSize:  *cacheSize,
-		MaxSteps:   *maxSteps,
-		MaxTimeout: *maxTimeout,
-		TraceDir:   *traceDir,
-		Pipeline:   *pipeline,
-		Metrics:    reg,
-		Logger:     logger,
+		CacheSize:   *cacheSize,
+		MaxSteps:    *maxSteps,
+		MaxTimeout:  *maxTimeout,
+		MaxInFlight: *maxInFly,
+		MaxQueue:    *maxQueue,
+		CacheDir:    *cacheDir,
+		TraceDir:    *traceDir,
+		Pipeline:    *pipeline,
+		Metrics:     reg,
+		Logger:      logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -105,7 +120,8 @@ func run() int {
 	srv := &http.Server{Handler: svc}
 	logger.Info("listening",
 		"addr", ln.Addr().String(), "cache", *cacheSize,
-		"max_steps", *maxSteps, "max_timeout", *maxTimeout, "pipeline", *pipeline)
+		"max_steps", *maxSteps, "max_timeout", *maxTimeout, "pipeline", *pipeline,
+		"max_in_flight", *maxInFly, "max_queue", *maxQueue, "cache_dir", *cacheDir)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

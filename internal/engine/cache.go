@@ -2,8 +2,12 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,8 +51,11 @@ type CacheStats struct {
 	// in-flight build of the same key (they are also counted as hits:
 	// they did not compile).
 	Collapsed uint64 `json:"collapsed"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
+	// Warmed counts artifacts rebuilt from a persisted cache index on
+	// boot (see Engine.WarmFrom).
+	Warmed   uint64 `json:"warmed"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
 }
 
 // String renders the snapshot for log lines.
@@ -79,8 +86,8 @@ type Cache struct {
 	// Effectiveness counters live directly on metrics instruments
 	// (detached ones when the cache was built without a registry), so
 	// exposition and CacheStats can never disagree.
-	hits, misses, evictions, collapsed *metrics.Counter
-	entriesGauge                       *metrics.Gauge
+	hits, misses, evictions, collapsed, warmed *metrics.Counter
+	entriesGauge                               *metrics.Gauge
 }
 
 type cacheEntry struct {
@@ -109,7 +116,7 @@ func NewCacheMetered(capacity int, reg *metrics.Registry) *Cache {
 		capacity = 1
 	}
 	events := reg.CounterVec("bigfoot_engine_cache_events_total",
-		"artifact-cache events: hit, miss, eviction, collapsed (miss that waited on an in-flight build)",
+		"artifact-cache events: hit, miss, eviction, collapsed (miss that waited on an in-flight build), warmed (rebuilt from a persisted index on boot)",
 		"event")
 	return &Cache{
 		cap:       capacity,
@@ -120,6 +127,7 @@ func NewCacheMetered(capacity int, reg *metrics.Registry) *Cache {
 		misses:    events.With("miss"),
 		evictions: events.With("eviction"),
 		collapsed: events.With("collapsed"),
+		warmed:    events.With("warmed"),
 		entriesGauge: reg.Gauge("bigfoot_engine_cache_entries",
 			"artifact-cache resident entries"),
 	}
@@ -167,15 +175,29 @@ func (c *Cache) GetOrBuild(key string, build func() (*Artifact, error)) (*Artifa
 	c.building[key] = call
 	c.mu.Unlock()
 
+	// The builder must unwedge the key no matter how build exits.  A
+	// panicking build once left call.done unclosed and the key stuck in
+	// c.building, so every later request for it blocked forever: the
+	// deferred cleanup turns the panic into an error for the waiters,
+	// clears the in-flight record so a retry rebuilds, and then resumes
+	// the panic in the builder's own goroutine.
+	defer func() {
+		r := recover()
+		if r != nil {
+			call.art, call.err = nil, fmt.Errorf("artifact build for %s panicked: %v", key, r)
+		}
+		close(call.done)
+		c.mu.Lock()
+		delete(c.building, key)
+		if call.err == nil {
+			c.insert(key, call.art)
+		}
+		c.mu.Unlock()
+		if r != nil {
+			panic(r)
+		}
+	}()
 	call.art, call.err = build()
-	close(call.done)
-
-	c.mu.Lock()
-	delete(c.building, key)
-	if call.err == nil {
-		c.insert(key, call.art)
-	}
-	c.mu.Unlock()
 	return call.art, false, call.err
 }
 
@@ -224,6 +246,91 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    uint64(c.misses.Value()),
 		Evictions: uint64(c.evictions.Value()),
 		Collapsed: uint64(c.collapsed.Value()),
+		Warmed:    uint64(c.warmed.Value()),
 		Entries:   c.order.Len(), Capacity: c.cap,
 	}
+}
+
+// CacheIndexVersion is the format version of a persisted cache index.
+const CacheIndexVersion = 1
+
+// IndexEntry is one persisted cache entry: everything needed to rebuild
+// the artifact from scratch.  The index persists sources, not compiled
+// binaries — compilation is cheap and deterministic, so re-deriving the
+// artifact keeps the on-disk format trivial and version-proof (an index
+// written by one build of the system warms any other).
+type IndexEntry struct {
+	Source   string   `json:"source"`
+	Variants []string `json:"variants"`
+	WithBase bool     `json:"with_base"`
+}
+
+// cacheIndex is the JSON document SaveIndex writes and WarmFrom reads.
+type cacheIndex struct {
+	Version int          `json:"version"`
+	Entries []IndexEntry `json:"entries"`
+}
+
+// SaveIndex persists the cache's resident entries as a rebuild manifest
+// (key → source + build spec), returning how many were written.
+// Entries are written least-recently-used first so that warming in file
+// order reproduces the saved recency (the MRU entry is rebuilt last).
+// Artifacts built without source text (BuildAST) cannot be re-derived
+// and are skipped.
+func (c *Cache) SaveIndex(w io.Writer) (int, error) {
+	idx := cacheIndex{Version: CacheIndexVersion}
+	c.mu.Lock()
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		art := el.Value.(*cacheEntry).art
+		if art.src == "" {
+			continue
+		}
+		idx.Entries = append(idx.Entries, IndexEntry{
+			Source:   art.src,
+			Variants: art.srcVariants,
+			WithBase: art.srcWithBase,
+		})
+	}
+	c.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(idx); err != nil {
+		return 0, fmt.Errorf("cache index: %w", err)
+	}
+	return len(idx.Entries), nil
+}
+
+// WarmFrom rebuilds the artifacts listed in a cache index previously
+// written by SaveIndex, re-populating the engine's cache through the
+// ordinary BuildSource path (so singleflight collapsing and eviction
+// apply).  It returns how many artifacts were actually rebuilt —
+// entries already resident count as hits, not warms — and stops early
+// when ctx is done.  Entries whose source no longer builds are skipped
+// with a diagnostic, never fatal: a stale index must not block boot.
+func (e *Engine) WarmFrom(ctx context.Context, r io.Reader) (int, error) {
+	var idx cacheIndex
+	if err := json.NewDecoder(r).Decode(&idx); err != nil {
+		return 0, fmt.Errorf("cache index: %w", err)
+	}
+	if idx.Version != CacheIndexVersion {
+		return 0, fmt.Errorf("cache index version %d, want %d", idx.Version, CacheIndexVersion)
+	}
+	warmed := 0
+	for _, ent := range idx.Entries {
+		if err := ctx.Err(); err != nil {
+			return warmed, err
+		}
+		_, hit, err := e.BuildSource(ent.Source, BuildSpec{Variants: ent.Variants, WithBase: ent.WithBase})
+		if err != nil {
+			e.logf("engine: warm skipped one entry: %v", err)
+			continue
+		}
+		if !hit {
+			warmed++
+			if e.cache != nil {
+				e.cache.warmed.Inc()
+			}
+		}
+	}
+	return warmed, nil
 }

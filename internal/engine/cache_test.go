@@ -1,11 +1,15 @@
 package engine
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCacheKeyShape(t *testing.T) {
@@ -72,6 +76,139 @@ func TestCacheDoesNotCacheErrors(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Errorf("build called %d times, want 2 (errors are not cached)", calls)
+	}
+}
+
+// TestCacheBuildPanicUnwedges is the regression test for the
+// artifact-cache panic wedge: a panicking build used to leave call.done
+// unclosed and the key stuck in c.building, so every future request for
+// that key blocked forever.  Now waiters collapsed onto the in-flight
+// build receive an error, the panic resumes in the builder's goroutine,
+// and a retry rebuilds the key successfully.
+func TestCacheBuildPanicUnwedges(t *testing.T) {
+	c := NewCache(4)
+
+	builderStarted := make(chan struct{})
+	releaseBuilder := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.GetOrBuild("k", func() (*Artifact, error) {
+			close(builderStarted)
+			<-releaseBuilder
+			panic("injected build failure")
+		})
+	}()
+	<-builderStarted
+
+	// A second caller collapses onto the in-flight build before it
+	// panics; it must be unblocked with an error, not hang.
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrBuild("k", func() (*Artifact, error) {
+			t.Error("waiter must not build while the key is in flight")
+			return &Artifact{}, nil
+		})
+		waiterErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Collapsed == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Stats().Collapsed == 0 {
+		t.Fatal("second caller never collapsed onto the in-flight build")
+	}
+	close(releaseBuilder)
+
+	r := <-panicked
+	if r == nil {
+		t.Fatal("the panic must resume in the builder's goroutine")
+	}
+	if !strings.Contains(fmt.Sprint(r), "injected build failure") {
+		t.Errorf("builder re-panicked with %v, want the injected value", r)
+	}
+	select {
+	case err := <-waiterErr:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("waiter error = %v, want a build-panicked error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter still blocked after the build panicked: key is wedged")
+	}
+
+	// The key is unwedged: a retry builds fresh and caches.
+	art, hit, err := c.GetOrBuild("k", func() (*Artifact, error) {
+		return &Artifact{Hash: "rebuilt"}, nil
+	})
+	if err != nil || hit || art == nil || art.Hash != "rebuilt" {
+		t.Fatalf("retry after panic: art=%v hit=%v err=%v", art, hit, err)
+	}
+	if !c.Peek("k") {
+		t.Error("rebuilt artifact is not resident")
+	}
+}
+
+// TestCacheSaveIndexWarmFrom: SaveIndex persists a rebuild manifest of
+// every source-built entry, WarmFrom re-derives the artifacts into a
+// fresh engine (counting only real rebuilds as warmed), and stale or
+// versioned-away indices degrade gracefully.
+func TestCacheSaveIndexWarmFrom(t *testing.T) {
+	e1 := New(Options{CacheSize: 8})
+	if _, _, err := e1.BuildSource(racy, BuildSpec{WithBase: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e1.BuildSource(racy, BuildSpec{Variants: []string{"BF"}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := e1.Cache().SaveIndex(&buf)
+	if err != nil || n != 2 {
+		t.Fatalf("SaveIndex wrote %d entries, err %v", n, err)
+	}
+
+	e2 := New(Options{CacheSize: 8})
+	warmed, err := e2.WarmFrom(context.Background(), bytes.NewReader(buf.Bytes()))
+	if err != nil || warmed != 2 {
+		t.Fatalf("WarmFrom rebuilt %d entries, err %v", warmed, err)
+	}
+	if !e2.Cache().Peek(CacheKey(racy, VariantNames, true)) {
+		t.Error("full-variant entry not resident after warm")
+	}
+	if !e2.Cache().Peek(CacheKey(racy, []string{"BF"}, false)) {
+		t.Error("BF-only entry not resident after warm")
+	}
+	if st := e2.Cache().Stats(); st.Warmed != 2 {
+		t.Errorf("warmed counter = %d, want 2", st.Warmed)
+	}
+
+	// The point of warming: the next submission is a hit.
+	_, hit, err := e2.BuildSource(racy, BuildSpec{WithBase: true})
+	if err != nil || !hit {
+		t.Fatalf("post-warm build: hit=%v err=%v", hit, err)
+	}
+
+	// Warming again is idempotent: resident entries hit, nothing warms.
+	if again, err := e2.WarmFrom(context.Background(), bytes.NewReader(buf.Bytes())); err != nil || again != 0 {
+		t.Fatalf("second warm rebuilt %d entries, err %v", again, err)
+	}
+
+	// A stale entry whose source no longer builds is skipped, not fatal.
+	stale := `{"version":1,"entries":[{"source":"class {","variants":["FT"],"with_base":false}]}`
+	if warmed, err := e2.WarmFrom(context.Background(), strings.NewReader(stale)); err != nil || warmed != 0 {
+		t.Fatalf("stale-source warm: rebuilt %d, err %v", warmed, err)
+	}
+
+	// An index from an unknown format version fails loudly.
+	if _, err := e2.WarmFrom(context.Background(), strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("unsupported index version must be an error")
+	}
+
+	// A cancelled context stops the warm early.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	e3 := New(Options{CacheSize: 8})
+	if _, err := e3.WarmFrom(cancelled, bytes.NewReader(buf.Bytes())); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled warm err = %v, want context.Canceled", err)
 	}
 }
 

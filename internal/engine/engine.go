@@ -262,6 +262,14 @@ type Artifact struct {
 	Variants []*Variant
 
 	byName map[string]*Variant
+
+	// Rebuild provenance for cache persistence (Cache.SaveIndex):
+	// artifacts built through BuildSource remember the exact inputs that
+	// produced them, so a saved index can re-derive them after a
+	// restart.  Empty for artifacts built from a bare AST.
+	src         string
+	srcVariants []string
+	srcWithBase bool
 }
 
 // Variant returns the named variant, or nil when the artifact was built
@@ -379,6 +387,9 @@ func (e *Engine) BuildSource(src string, spec BuildSpec) (*Artifact, bool, error
 		}
 		art.Hash = SourceHash(src)
 		art.Timings.Parse = parse
+		art.src = src
+		art.srcVariants = names
+		art.srcWithBase = spec.WithBase
 		return art, nil
 	}
 	if e.cache == nil {

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"bigfoot/internal/metrics"
+)
+
+// This file is the service's overload surface: a bounded admission gate
+// with a FIFO backpressure queue in front of the session handler.  At
+// most MaxInFlight sessions run concurrently; up to MaxQueue more wait
+// in arrival order, each bounded by its own request deadline; beyond
+// that the server answers immediately with 429 "overloaded" and a
+// Retry-After hint instead of piling up goroutines until something
+// falls over.  Draining rejects the queued-but-unstarted sessions (they
+// get 503 — nothing of theirs has run) while the admitted ones finish.
+
+// errOverloaded is mapped to 429 "overloaded" by handleRun.
+var errOverloaded = errors.New("server is at capacity (admission queue full); retry later")
+
+// errDraining is mapped to 503 "draining" by handleRun.
+var errDraining = errors.New("server is shutting down")
+
+// gate is the admission controller: a counting slot limit plus a FIFO
+// wait queue.  All state transitions happen under mu; waiters block on
+// their own buffered channel so promotion never blocks the releaser.
+type gate struct {
+	mu       sync.Mutex
+	limit    int        // max concurrently admitted; <= 0 means unlimited
+	maxQueue int        // max waiting; meaningful only when limit > 0
+	running  int        // currently admitted sessions
+	queue    *list.List // *gateWaiter in arrival order
+	draining bool
+
+	queuedTotal uint64 // sessions that ever waited in the queue
+
+	// inflight tracks admitted sessions for Drain.  Add happens only
+	// under mu while !draining, so it can never race a started Wait.
+	inflight sync.WaitGroup
+
+	depth   *metrics.Gauge     // bigfoot_http_queue_depth
+	waitSec *metrics.Histogram // bigfoot_http_queue_wait_seconds
+}
+
+// gateWaiter is one queued session.  ready is buffered so the resolver
+// (promotion or drain) never blocks on a waiter that already gave up.
+type gateWaiter struct {
+	ready chan error
+	el    *list.Element // non-nil while still queued; guarded by gate.mu
+}
+
+func newGate(limit, maxQueue int, depth *metrics.Gauge, waitSec *metrics.Histogram) *gate {
+	return &gate{
+		limit:    limit,
+		maxQueue: maxQueue,
+		queue:    list.New(),
+		depth:    depth,
+		waitSec:  waitSec,
+	}
+}
+
+// Acquire admits one session, blocking in the FIFO queue when the
+// server is at capacity.  On success the returned release function must
+// be called exactly once when the session ends.  waited reports time
+// spent queued (zero for immediate admission).  Errors: errDraining
+// (shutdown), errOverloaded (queue full), or ctx.Err() (the request
+// gave up while queued).
+func (g *gate) Acquire(ctx context.Context) (release func(), waited time.Duration, err error) {
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		return nil, 0, errDraining
+	}
+	if g.limit <= 0 || g.running < g.limit {
+		g.admitLocked()
+		g.mu.Unlock()
+		return g.release, 0, nil
+	}
+	if g.queue.Len() >= g.maxQueue {
+		g.mu.Unlock()
+		return nil, 0, errOverloaded
+	}
+	w := &gateWaiter{ready: make(chan error, 1)}
+	w.el = g.queue.PushBack(w)
+	g.queuedTotal++
+	g.depth.Set(float64(g.queue.Len()))
+	g.mu.Unlock()
+
+	enqueued := time.Now()
+	select {
+	case err := <-w.ready:
+		waited = time.Since(enqueued)
+		g.waitSec.ObserveDuration(waited)
+		if err != nil {
+			return nil, waited, err
+		}
+		return g.release, waited, nil
+	case <-ctx.Done():
+		waited = time.Since(enqueued)
+		g.waitSec.ObserveDuration(waited)
+		g.mu.Lock()
+		if w.el != nil { // still queued: withdraw
+			g.queue.Remove(w.el)
+			w.el = nil
+			g.depth.Set(float64(g.queue.Len()))
+			g.mu.Unlock()
+			return nil, waited, ctx.Err()
+		}
+		g.mu.Unlock()
+		// Resolved concurrently with the deadline: the verdict is in the
+		// buffered channel.  An admission we no longer want is released.
+		if err := <-w.ready; err == nil {
+			g.release()
+		}
+		return nil, waited, ctx.Err()
+	}
+}
+
+// admitLocked grants one slot.  Caller holds mu and has checked
+// !draining.
+func (g *gate) admitLocked() {
+	g.running++
+	g.inflight.Add(1)
+}
+
+// release returns one slot and promotes the queue head into it.
+func (g *gate) release() {
+	g.mu.Lock()
+	g.running--
+	for !g.draining && (g.limit <= 0 || g.running < g.limit) {
+		el := g.queue.Front()
+		if el == nil {
+			break
+		}
+		w := el.Value.(*gateWaiter)
+		g.queue.Remove(el)
+		w.el = nil
+		g.admitLocked()
+		w.ready <- nil
+	}
+	g.depth.Set(float64(g.queue.Len()))
+	g.mu.Unlock()
+	g.inflight.Done()
+}
+
+// drain stops all future admissions and rejects every queued waiter
+// with errDraining.  Sessions already admitted keep their slots; the
+// caller waits for them via wait.
+func (g *gate) drain() {
+	g.mu.Lock()
+	g.draining = true
+	for el := g.queue.Front(); el != nil; el = g.queue.Front() {
+		w := el.Value.(*gateWaiter)
+		g.queue.Remove(el)
+		w.el = nil
+		w.ready <- errDraining
+	}
+	g.depth.Set(0)
+	g.mu.Unlock()
+}
+
+// wait blocks until every admitted session has released or ctx expires.
+func (g *gate) wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		g.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// isDraining reports whether drain has been called.
+func (g *gate) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// queueLen returns the current queue depth.
+func (g *gate) queueLen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queue.Len()
+}
+
+// queued returns the cumulative count of sessions that ever waited.
+func (g *gate) queued() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queuedTotal
+}

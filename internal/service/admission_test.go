@@ -1,0 +1,193 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestGate builds a gate on detached instruments (nil registry).
+func newTestGate(limit, maxQueue int) *gate {
+	m := newServiceMetrics(nil)
+	return newGate(limit, maxQueue, m.queueDepth, m.queueWait)
+}
+
+// TestGateImmediateAdmission: under the limit, Acquire never queues.
+func TestGateImmediateAdmission(t *testing.T) {
+	g := newTestGate(2, 4)
+	r1, waited, err := g.Acquire(context.Background())
+	if err != nil || waited != 0 {
+		t.Fatalf("first acquire: waited=%v err=%v", waited, err)
+	}
+	r2, _, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	r1()
+	r2()
+	if g.queued() != 0 {
+		t.Errorf("queuedTotal = %d, want 0", g.queued())
+	}
+}
+
+// TestGateUnlimited: a non-positive limit disables the gate entirely.
+func TestGateUnlimited(t *testing.T) {
+	g := newTestGate(-1, 0)
+	var releases []func()
+	for i := 0; i < 64; i++ {
+		r, _, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, r)
+	}
+	for _, r := range releases {
+		r()
+	}
+}
+
+// TestGateFIFOPromotion: queued sessions are admitted strictly in
+// arrival order as slots free up.
+func TestGateFIFOPromotion(t *testing.T) {
+	g := newTestGate(1, 8)
+	r0, _, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 4
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		// Enqueue one at a time so arrival order is deterministic.
+		before := g.queueLen()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release, waited, err := g.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			if waited <= 0 {
+				t.Errorf("waiter %d reported no queue wait", i)
+			}
+			order <- i
+			release()
+		}(i)
+		waitUntil(t, func() bool { return g.queueLen() == before+1 })
+	}
+
+	r0() // slot frees; the queue drains in order, one release at a time
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("admission order: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+	if g.queued() != waiters {
+		t.Errorf("queuedTotal = %d, want %d", g.queued(), waiters)
+	}
+}
+
+// TestGateOverload: a full queue rejects immediately with errOverloaded;
+// maxQueue 0 means rejection as soon as the limit is reached.
+func TestGateOverload(t *testing.T) {
+	g := newTestGate(1, 0)
+	release, _, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Acquire(context.Background()); !errors.Is(err, errOverloaded) {
+		t.Fatalf("at capacity with no queue: err = %v, want errOverloaded", err)
+	}
+	release()
+	release2, _, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	release2()
+}
+
+// TestGateQueueDeadline: a queued session whose context expires
+// withdraws from the queue and reports the context error.
+func TestGateQueueDeadline(t *testing.T) {
+	g := newTestGate(1, 4)
+	release, _, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, waited, err := g.Acquire(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired waiter err = %v, want DeadlineExceeded", err)
+	}
+	if waited <= 0 {
+		t.Error("expired waiter reported no queue wait")
+	}
+	if g.queueLen() != 0 {
+		t.Errorf("queue depth = %d after withdrawal, want 0", g.queueLen())
+	}
+	release()
+	// The withdrawn waiter must not have consumed the freed slot.
+	r2, _, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("slot lost to a withdrawn waiter: %v", err)
+	}
+	r2()
+}
+
+// TestGateDrainRejectsQueued: drain flushes the queue with errDraining,
+// refuses new sessions, and wait returns once admitted sessions release.
+func TestGateDrainRejectsQueued(t *testing.T) {
+	g := newTestGate(1, 4)
+	release, _, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, _, err := g.Acquire(context.Background())
+		queuedErr <- err
+	}()
+	waitUntil(t, func() bool { return g.queueLen() == 1 })
+
+	g.drain()
+	if err := <-queuedErr; !errors.Is(err, errDraining) {
+		t.Fatalf("queued session err = %v, want errDraining", err)
+	}
+	if _, _, err := g.Acquire(context.Background()); !errors.Is(err, errDraining) {
+		t.Fatalf("post-drain acquire err = %v, want errDraining", err)
+	}
+
+	// wait blocks on the admitted session, then returns.
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.wait(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wait with a session in flight: %v, want DeadlineExceeded", err)
+	}
+	release()
+	ctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := g.wait(ctx); err != nil {
+		t.Fatalf("wait after release: %v", err)
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -14,17 +14,28 @@
 //	2  usage error          400 Bad Request        "usage"
 //	—  oversized body       413 Too Large          "too-large"
 //	3  report I/O           500 Internal           "internal"
+//	—  admission queue full 429 Too Many Requests  "overloaded"
 //	—  draining shutdown    503 Unavailable        "draining"
 //
 // Every non-200 response is a JSON ErrorResponse carrying one of those
 // code strings, so load generators can separate budget exhaustion
 // (expected under deliberately tight limits) from real failures.
 //
+// Admission is bounded: at most MaxInFlight sessions run concurrently
+// and up to MaxQueue more wait in a FIFO, each bounded by its own
+// session budget.  Beyond that the server answers 429 "overloaded"
+// with a Retry-After hint immediately — overload degrades into fast,
+// honest rejections instead of unbounded concurrency.  Draining
+// rejects queued-but-unstarted sessions with 503 while admitted ones
+// run to completion.
+//
 // Concurrent sessions share one engine and therefore one bounded
 // content-addressed artifact cache: resubmitting a program skips its
 // parse/instrument/compile cost entirely.  The per-request cache
 // outcome is surfaced in the X-Bigfoot-Cache response header and the
-// aggregate counters at GET /v1/stats.
+// aggregate counters at GET /v1/stats.  With CacheDir set, the cache's
+// rebuild manifest is persisted on graceful drain and re-derived in the
+// background on boot, so a restarted daemon answers warm.
 package service
 
 import (
@@ -48,12 +59,26 @@ import (
 
 // Default request limits; Config overrides.
 const (
-	DefaultMaxSteps    = 50_000_000
-	DefaultTimeout     = 30 * time.Second
-	DefaultMaxBody     = 1 << 20 // 1 MiB of BFJ source is a very large program
-	DefaultCacheSize   = 64
-	DefaultMaxInFlight = 0 // unlimited
+	DefaultMaxSteps  = 50_000_000
+	DefaultTimeout   = 30 * time.Second
+	DefaultMaxBody   = 1 << 20 // 1 MiB of BFJ source is a very large program
+	DefaultCacheSize = 64
+	// DefaultMaxInFlight bounds concurrent sessions: enough to saturate
+	// a many-core host with interpreter work, small enough that a
+	// traffic burst queues instead of thrashing.
+	DefaultMaxInFlight = 32
+	// DefaultMaxQueue bounds sessions waiting for a slot; beyond it the
+	// server answers 429 "overloaded" immediately.
+	DefaultMaxQueue = 128
 )
+
+// cacheIndexName is the artifact-cache manifest file inside CacheDir.
+const cacheIndexName = "cache-index.json"
+
+// retryAfterSeconds is the Retry-After hint on 429 responses: sessions
+// are short (sub-second to a few seconds), so one second is a sane
+// client back-off unit.
+const retryAfterSeconds = "1"
 
 // Config configures a Server.
 type Config struct {
@@ -71,6 +96,21 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes bounds the request body; 0 means DefaultMaxBody.
 	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently running sessions; 0 means
+	// DefaultMaxInFlight, negative disables the bound entirely (no
+	// queueing either — every session is admitted immediately).
+	MaxInFlight int
+	// MaxQueue bounds sessions waiting for an in-flight slot; 0 means
+	// DefaultMaxQueue, negative means no queue (immediate 429 when all
+	// slots are busy).  Ignored when MaxInFlight is unlimited.
+	MaxQueue int
+	// CacheDir, when non-empty, persists the artifact cache across
+	// restarts: on graceful drain the cache's rebuild manifest (source
+	// text + build spec per resident entry — sources, not binaries, so
+	// the format survives any change to the compiled representation) is
+	// written there, and on construction the manifest is re-derived in a
+	// background goroutine (compile-once is cheap and deterministic).
+	CacheDir string
 	// TraceDir, when non-empty, records every run as compressed traces:
 	// each traced request gets a per-request subdirectory
 	// <TraceDir>/<source-hash-prefix>-s<seed> holding one .bftrace per
@@ -113,14 +153,15 @@ type RunRequest struct {
 	// server's cap (0 = the cap).
 	MaxSteps uint64 `json:"max_steps,omitempty"`
 	// TimeoutMS bounds the whole session's wall-clock time in
-	// milliseconds, clamped to the server's cap (0 = the cap).
+	// milliseconds — admission-queue wait included — clamped to the
+	// server's cap (0 = the cap; negative is a usage error).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 response.
 type ErrorResponse struct {
 	Error string `json:"error"`
-	Code  string `json:"code"` // "usage", "program", "budget", "internal", "draining"
+	Code  string `json:"code"` // "usage", "program", "budget", "too-large", "internal", "overloaded", "draining"
 }
 
 // Stats is the body of GET /v1/stats.
@@ -141,9 +182,19 @@ type Version struct {
 }
 
 // SessionStats counts detection sessions over the server's lifetime.
+// The split matches bigfoot_http_responses_total semantics: every
+// answered session lands in exactly one of Completed (200), Failed
+// (audited error: 400/408/413/422/500), or Rejected (refused at
+// admission: 429 overloaded, 503 draining).
 type SessionStats struct {
 	Active    int64  `json:"active"`
 	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	// Queued is the cumulative count of sessions that waited in the
+	// admission queue before their verdict; the instantaneous depth is
+	// the bigfoot_http_queue_depth gauge.
+	Queued   uint64 `json:"queued"`
+	Rejected uint64 `json:"rejected"`
 }
 
 // Server handles detection sessions over a shared engine.
@@ -154,15 +205,18 @@ type Server struct {
 	log   *slog.Logger
 	logf  engine.Logf
 	m     serviceMetrics
+	gate  *gate
 	start time.Time
 	build BuildInfo
 
 	active    atomic.Int64
 	completed atomic.Uint64
+	failed    atomic.Uint64
+	rejected  atomic.Uint64
 
-	drainMu  sync.Mutex
-	draining bool
-	inflight sync.WaitGroup
+	warmCancel context.CancelFunc
+	warmDone   chan struct{}
+	saveOnce   sync.Once
 }
 
 // New creates a Server, applying Config defaults.
@@ -175,6 +229,15 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBody
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0 // no queue: immediate 429 at capacity
 	}
 	log := cfg.Logger
 	if log == nil {
@@ -197,12 +260,88 @@ func New(cfg Config) *Server {
 		start: time.Now(),
 		build: readBuildInfo(),
 	}
+	s.gate = newGate(cfg.MaxInFlight, cfg.MaxQueue, s.m.queueDepth, s.m.queueWait)
 	s.mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
 	s.mux.HandleFunc("GET /v1/version", s.instrument("/v1/version", s.handleVersion))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	if cfg.CacheDir != "" {
+		// Warm the artifact cache from the persisted manifest in the
+		// background: boot stays instant, and the first resubmission of
+		// a previously-built program answers X-Bigfoot-Cache: hit as
+		// soon as its rebuild lands.
+		ctx, cancel := context.WithCancel(context.Background())
+		s.warmCancel = cancel
+		s.warmDone = make(chan struct{})
+		go s.warmCache(ctx)
+	}
 	return s
+}
+
+// warmCache re-derives the artifacts named by the persisted cache
+// manifest.  Failures are diagnostics, never fatal: a missing index is
+// a first boot, and a stale source that no longer builds is skipped
+// inside engine.WarmFrom.
+func (s *Server) warmCache(ctx context.Context) {
+	defer close(s.warmDone)
+	defer func() {
+		if r := recover(); r != nil {
+			s.log.Error("cache warm-up panicked", "panic", fmt.Sprint(r))
+		}
+	}()
+	path := filepath.Join(s.cfg.CacheDir, cacheIndexName)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return
+	}
+	if err != nil {
+		s.log.Warn("cache warm-up skipped", "err", err)
+		return
+	}
+	defer f.Close()
+	start := time.Now()
+	n, err := s.eng.WarmFrom(ctx, f)
+	if err != nil {
+		s.log.Warn("cache warm-up incomplete", "warmed", n, "err", err)
+		return
+	}
+	s.log.Info("cache warmed", "entries", n, "elapsed", time.Since(start).Round(time.Millisecond))
+}
+
+// saveCacheIndex persists the artifact cache's rebuild manifest into
+// CacheDir (atomically, via a temp file rename).  Idempotent: only the
+// first call writes, so a drain retried under a fresh context cannot
+// truncate a good index.
+func (s *Server) saveCacheIndex() {
+	s.saveOnce.Do(func() {
+		if s.cfg.CacheDir == "" || s.eng.Cache() == nil {
+			return
+		}
+		if err := os.MkdirAll(s.cfg.CacheDir, 0o755); err != nil {
+			s.log.Warn("cache index not saved", "err", err)
+			return
+		}
+		path := filepath.Join(s.cfg.CacheDir, cacheIndexName)
+		tmp, err := os.CreateTemp(s.cfg.CacheDir, cacheIndexName+".tmp")
+		if err != nil {
+			s.log.Warn("cache index not saved", "err", err)
+			return
+		}
+		n, err := s.eng.Cache().SaveIndex(tmp)
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp.Name(), path)
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+			s.log.Warn("cache index not saved", "err", err)
+			return
+		}
+		s.log.Info("cache index saved", "entries", n, "path", path)
+	})
 }
 
 // Engine returns the engine the server runs on (shared artifact cache).
@@ -213,37 +352,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Drain stops admitting new sessions and waits until every in-flight
-// session has completed or ctx expires.  Pair it with
-// http.Server.Shutdown for a graceful stop: new requests get 503 while
-// the old ones run to completion.
+// Drain stops admitting new sessions, rejects the queued-but-unstarted
+// ones with 503 (nothing of theirs has run), and waits until every
+// admitted session has completed or ctx expires.  With CacheDir set the
+// artifact cache's rebuild manifest is persisted afterwards — even on a
+// timed-out wait, since whatever is resident is worth warming next
+// boot.  Pair it with http.Server.Shutdown for a graceful stop.
 func (s *Server) Drain(ctx context.Context) error {
-	s.drainMu.Lock()
-	s.draining = true
-	s.drainMu.Unlock()
+	if s.warmCancel != nil {
+		s.warmCancel()
+		<-s.warmDone
+	}
+	s.gate.drain()
 	s.m.draining.Set(1)
-	done := make(chan struct{})
-	go func() {
-		s.inflight.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("drain: %d sessions still in flight: %w", s.active.Load(), ctx.Err())
+	var err error
+	if werr := s.gate.wait(ctx); werr != nil {
+		err = fmt.Errorf("drain: %d sessions still in flight: %w", s.active.Load(), werr)
 	}
-}
-
-// admit registers an in-flight session unless the server is draining.
-func (s *Server) admit() bool {
-	s.drainMu.Lock()
-	defer s.drainMu.Unlock()
-	if s.draining {
-		return false
-	}
-	s.inflight.Add(1)
-	return true
+	s.saveCacheIndex()
+	return err
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -252,19 +379,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.drainMu.Lock()
-	draining := s.draining
-	s.drainMu.Unlock()
 	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Draining:      draining,
+		Draining:      s.gate.isDraining(),
 		Build:         s.build,
 		Pipeline:      s.eng.PipelineTotals(),
 	}
 	if c := s.eng.Cache(); c != nil {
 		st.Cache = c.Stats()
 	}
-	st.Sessions = SessionStats{Active: s.active.Load(), Completed: s.completed.Load()}
+	st.Sessions = SessionStats{
+		Active:    s.active.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Queued:    s.gate.queued(),
+		Rejected:  s.rejected.Load(),
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -280,35 +410,73 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.cfg.Metrics.Handler().ServeHTTP(w, r)
 }
 
-// handleRun is one detection session: decode, budget, run, report.
+// handleRun is one detection session: decode, admit (queueing under
+// backpressure when the server is at capacity), budget, run, report.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	if !s.admit() {
-		writeError(w, http.StatusServiceUnavailable, "draining", errors.New("server is shutting down"))
+	// Refuse early while draining: not even decoding runs on behalf of
+	// a session that can never start.
+	if s.gate.isDraining() {
+		s.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining", errDraining)
 		return
 	}
-	defer s.inflight.Done()
-	s.active.Add(1)
-	defer s.active.Add(-1)
-	defer s.completed.Add(1)
+	ri := infoFrom(r.Context())
+	fail := func(status int, code string, err error) {
+		s.failed.Add(1)
+		writeError(w, status, code, err)
+	}
 
 	req, err := s.decodeRun(w, r)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "too-large",
+			fail(http.StatusRequestEntityTooLarge, "too-large",
 				fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, "usage", err)
+		fail(http.StatusBadRequest, "usage", err)
 		return
 	}
 	names, err := engine.NormalizeVariants(req.Detectors)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "usage", err)
+		fail(http.StatusBadRequest, "usage", err)
 		return
 	}
 
-	ri := infoFrom(r.Context())
+	// The session budget covers the admission queue too: a request that
+	// waits out its own timeout is answered 408 without ever running.
+	timeout := s.cfg.MaxTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	release, waited, err := s.gate.Acquire(ctx)
+	if waited > 0 {
+		ri.queueWait = waited
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, errDraining):
+			s.rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "draining", err)
+		case errors.Is(err, errOverloaded):
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusTooManyRequests, "overloaded", err)
+		default:
+			fail(http.StatusRequestTimeout, "budget",
+				fmt.Errorf("session budget expired after %s in the admission queue: %w",
+					waited.Round(time.Millisecond), err))
+		}
+		return
+	}
+	defer release()
+	s.active.Add(1)
+	defer s.active.Add(-1)
 
 	// The cache outcome this request will see: Peek before running, so
 	// concurrent identical requests that collapse onto one in-flight
@@ -327,14 +495,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Detectors: names,
 		Pipeline:  s.cfg.Pipeline,
 	}
-	timeout := s.cfg.MaxTimeout
-	if req.TimeoutMS > 0 {
-		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
-			timeout = d
-		}
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
 
 	// Traced runs get a per-request directory named by content hash and
 	// seed; the label is echoed in X-Bigfoot-Trace so clients can find
@@ -344,7 +504,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		traceLabel = fmt.Sprintf("%s-s%d", engine.SourceHash(req.Program)[:12], req.Seed)
 		dir := filepath.Join(s.cfg.TraceDir, traceLabel)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			writeError(w, http.StatusInternalServerError, "internal", fmt.Errorf("trace dir: %w", err))
+			fail(http.StatusInternalServerError, "internal", fmt.Errorf("trace dir: %w", err))
 			return
 		}
 		opts.TraceDir = dir
@@ -360,10 +520,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// The access-log line carries route/status/latency; the failure
 		// detail is debug-level (it is also the response body).
 		s.log.Debug("session failed", "id", ri.id, "program", req.Name, "code", code, "err", err)
-		writeError(w, status, code, err)
+		fail(status, code, err)
 		return
 	}
 	rep := harness.NewReport(opts, []*harness.ProgramResult{pr})
+	s.completed.Add(1)
 
 	w.Header().Set("X-Bigfoot-Cache", cacheLabel(wasCached))
 	if traceLabel != "" {
@@ -396,6 +557,12 @@ func (s *Server) decodeRun(w http.ResponseWriter, r *http.Request) (*RunRequest,
 	}
 	if req.Trials < 0 {
 		return nil, errors.New("trials must be >= 0")
+	}
+	// A negative timeout was once silently treated as "use the server
+	// cap", inconsistent with the Trials rule above; it is a usage
+	// error, same as negative trials.
+	if req.TimeoutMS < 0 {
+		return nil, errors.New("timeout_ms must be >= 0")
 	}
 	return &req, nil
 }

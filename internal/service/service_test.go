@@ -8,7 +8,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -161,6 +163,7 @@ func TestErrorCodes(t *testing.T) {
 		{"runtime fault", RunRequest{Program: crashing}, http.StatusUnprocessableEntity, "program"},
 		{"step budget", RunRequest{Program: spinner, MaxSteps: 1000}, http.StatusRequestTimeout, "budget"},
 		{"wall budget", RunRequest{Program: spinner, TimeoutMS: 30}, http.StatusRequestTimeout, "budget"},
+		{"negative timeout", RunRequest{Program: clean, TimeoutMS: -5}, http.StatusBadRequest, "usage"},
 	}
 	for _, tc := range cases {
 		resp, data := postRun(t, ts.URL, tc.req)
@@ -250,12 +253,14 @@ func TestGracefulDrain(t *testing.T) {
 // concurrent requests with mixed programs, detector subsets, and seeds.
 // Every response must be 200 or an audited budget error; per-(program,
 // seed, detectors) report signatures must be identical across load-
-// generator concurrency levels; the artifact cache must take hits; and
-// a graceful drain must complete afterwards with zero sessions lost.
+// generator concurrency levels; the artifact cache must take hits; the
+// session counters must split completed/failed exactly like
+// responses_total; and a graceful drain must complete afterwards with
+// zero sessions lost.  A second phase offers 16x MaxInFlight against a
+// tightly-limited server: the only statuses are 200/408/429, 429s carry
+// Retry-After, signatures stay byte-identical to the unloaded run, the
+// queue-depth gauge returns to zero, and no goroutines leak.
 func TestLoadConcurrentMixed(t *testing.T) {
-	if testing.Short() {
-		t.Skip("load test")
-	}
 	reg := metrics.NewRegistry()
 	s, ts := newTestServer(t, Config{MaxTimeout: 60 * time.Second, Metrics: reg})
 
@@ -392,6 +397,21 @@ func TestLoadConcurrentMixed(t *testing.T) {
 		t.Errorf("request_seconds{/v1/run} count = %d, want %d", reqCount, 2*perLevel)
 	}
 
+	// The session counters must split exactly like responses_total:
+	// completed counts 200s only, failed counts the audited errors (the
+	// 24 budget requests), rejected counts admission refusals (none at
+	// this concurrency — the default queue never fills).
+	wantFailed := uint64(2 * perLevel / 10)
+	if got := s.completed.Load(); got != uint64(2*perLevel)-wantFailed {
+		t.Errorf("completed sessions = %d, want %d", got, uint64(2*perLevel)-wantFailed)
+	}
+	if got := s.failed.Load(); got != wantFailed {
+		t.Errorf("failed sessions = %d, want %d", got, wantFailed)
+	}
+	if got := s.rejected.Load(); got != 0 {
+		t.Errorf("rejected sessions = %d, want 0 (queue never fills at this concurrency)", got)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
@@ -399,6 +419,203 @@ func TestLoadConcurrentMixed(t *testing.T) {
 	}
 	if a := s.active.Load(); a != 0 {
 		t.Errorf("%d sessions still active after drain", a)
+	}
+
+	// --- Overload burst -------------------------------------------------
+	// A fresh server with tight limits (2 running, 4 queued) is offered
+	// 32 sessions: six slow "holders" saturate the slots and fill the
+	// queue, then 26 normal sessions arrive at once.  Admission must
+	// shed the excess as 429 without corrupting anything: every 200's
+	// signature matches the unloaded run above.
+	goroutineBaseline := runtime.NumGoroutine()
+	breg := metrics.NewRegistry()
+	bs, bts := newTestServer(t, Config{
+		MaxTimeout: 60 * time.Second, MaxInFlight: 2, MaxQueue: 4, Metrics: breg,
+	})
+
+	holder := RunRequest{Name: "hold", Program: spinner, Detectors: []string{"FT"}, MaxSteps: 8_000_000}
+	var bwg sync.WaitGroup
+	var bmu sync.Mutex
+	statusCount := map[int]int{}
+	for i := 0; i < 6; i++ {
+		bwg.Add(1)
+		go func() {
+			defer bwg.Done()
+			resp, data := postRun(t, bts.URL, holder)
+			bmu.Lock()
+			defer bmu.Unlock()
+			statusCount[resp.StatusCode]++
+			if resp.StatusCode != http.StatusRequestTimeout && resp.StatusCode != http.StatusOK {
+				t.Errorf("holder: status %d body %.200s", resp.StatusCode, data)
+			}
+		}()
+	}
+	waitUntil(t, func() bool { return bs.gate.queueLen() == 4 })
+
+	for i := 0; i < 26; i++ {
+		bwg.Add(1)
+		go func(i int) {
+			defer bwg.Done()
+			tc := cases[i%len(cases)]
+			resp, data := postRun(t, bts.URL, tc.req)
+			bmu.Lock()
+			defer bmu.Unlock()
+			statusCount[resp.StatusCode]++
+			switch resp.StatusCode {
+			case http.StatusOK:
+				rep, err := harness.ReadJSON(bytes.NewReader(data))
+				if err != nil {
+					t.Errorf("%s under overload: unreadable report: %v", tc.key, err)
+					return
+				}
+				if sig := rep.Signature(); sig != signatures[tc.key] {
+					t.Errorf("%s: signature under overload differs from the unloaded run:\n--- unloaded\n%s\n--- overloaded\n%s", tc.key, signatures[tc.key], sig)
+				}
+			case http.StatusRequestTimeout:
+				if code := errorCode(t, data); code != "budget" {
+					t.Errorf("%s: 408 with code %q, want budget", tc.key, code)
+				}
+			case http.StatusTooManyRequests:
+				if got := resp.Header.Get("Retry-After"); got == "" {
+					t.Errorf("%s: 429 without a Retry-After header", tc.key)
+				}
+				if code := errorCode(t, data); code != "overloaded" {
+					t.Errorf("%s: 429 with code %q, want overloaded", tc.key, code)
+				}
+			default:
+				t.Errorf("%s under overload: status %d body %.200s", tc.key, resp.StatusCode, data)
+			}
+		}(i)
+	}
+	bwg.Wait()
+
+	if statusCount[http.StatusTooManyRequests] == 0 {
+		t.Error("overload burst shed nothing: no 429 responses")
+	}
+	if statusCount[http.StatusOK] == 0 && statusCount[http.StatusRequestTimeout] == 0 {
+		t.Error("overload burst admitted nothing at all")
+	}
+	t.Logf("overload burst: statuses %v", statusCount)
+
+	if got := metricValue(breg, "bigfoot_http_queue_depth"); got != 0 {
+		t.Errorf("queue-depth gauge = %v after the burst, want 0", got)
+	}
+	if bs.gate.queued() == 0 {
+		t.Error("no session ever waited in the queue during the burst")
+	}
+	if got, want := bs.rejected.Load(), uint64(statusCount[http.StatusTooManyRequests]); got != want {
+		t.Errorf("rejected counter = %d, want %d (the 429 count)", got, want)
+	}
+
+	bctx, bcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer bcancel()
+	if err := bs.Drain(bctx); err != nil {
+		t.Errorf("drain after burst: %v", err)
+	}
+
+	// No goroutine leak: queue waiters, session workers, and HTTP
+	// keep-alives must all wind down (tolerance covers runtime jitter).
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > goroutineBaseline+12 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > goroutineBaseline+12 {
+		t.Errorf("goroutines after burst: %d, baseline %d — leak suspected", n, goroutineBaseline)
+	}
+}
+
+// TestDrainRejectsQueued: a drain that begins while sessions are queued
+// must reject the queued ones with 503 "draining" while the running
+// session is allowed to finish.
+func TestDrainRejectsQueued(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxTimeout: 60 * time.Second, MaxInFlight: 1, MaxQueue: 4})
+
+	runningDone := make(chan int, 1)
+	go func() {
+		resp, _ := postRun(t, ts.URL, RunRequest{
+			Name: "hold", Program: spinner, Detectors: []string{"FT"}, MaxSteps: 8_000_000,
+		})
+		runningDone <- resp.StatusCode
+	}()
+	waitUntil(t, func() bool { return s.active.Load() == 1 })
+
+	type reply struct {
+		status int
+		code   string
+	}
+	queuedDone := make(chan reply, 1)
+	go func() {
+		resp, data := postRun(t, ts.URL, RunRequest{Program: racy})
+		queuedDone <- reply{resp.StatusCode, errorCode(t, data)}
+	}()
+	waitUntil(t, func() bool { return s.gate.queueLen() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	q := <-queuedDone
+	if q.status != http.StatusServiceUnavailable || q.code != "draining" {
+		t.Errorf("queued session got %d %q, want 503 draining", q.status, q.code)
+	}
+	if code := <-runningDone; code != http.StatusOK && code != http.StatusRequestTimeout {
+		t.Errorf("running session finished with %d, want 200 or 408", code)
+	}
+	if got := s.rejected.Load(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+}
+
+// TestCachePersistenceAcrossRestart: a graceful drain persists the
+// artifact cache's rebuild manifest into CacheDir, and a second server
+// booted on the same directory warms from it in the background — the
+// first resubmission is a cache hit instead of a recompile.
+func TestCachePersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, ts1 := newTestServer(t, Config{CacheDir: dir})
+	resp, data := postRun(t, ts1.URL, RunRequest{Program: racy})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed run: status %d (%s)", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Bigfoot-Cache"); got != "miss" {
+		t.Fatalf("seed run cache header = %q, want miss", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, cacheIndexName)); err != nil {
+		t.Fatalf("drain did not persist the cache index: %v", err)
+	}
+
+	reg := metrics.NewRegistry()
+	s2, ts2 := newTestServer(t, Config{CacheDir: dir, Metrics: reg})
+	waitUntil(t, func() bool { return s2.Engine().Cache().Stats().Warmed >= 1 })
+
+	resp2, data2 := postRun(t, ts2.URL, RunRequest{Program: racy})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmission: status %d (%s)", resp2.StatusCode, data2)
+	}
+	if got := resp2.Header.Get("X-Bigfoot-Cache"); got != "hit" {
+		t.Errorf("resubmission after restart: cache header = %q, want hit", got)
+	}
+	if got := metricValue(reg, "bigfoot_engine_cache_events_total", "event", "warmed"); got < 1 {
+		t.Errorf("warmed event series = %v, want >= 1", got)
+	}
+
+	// Both responses carry the same detection verdicts.
+	rep1, err1 := harness.ReadJSON(bytes.NewReader(data))
+	rep2, err2 := harness.ReadJSON(bytes.NewReader(data2))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unreadable reports: %v / %v", err1, err2)
+	}
+	if rep1.Signature() != rep2.Signature() {
+		t.Errorf("warm-rebuilt artifact changed the verdict:\n--- cold\n%s\n--- warm\n%s", rep1.Signature(), rep2.Signature())
 	}
 }
 

@@ -30,6 +30,8 @@ type serviceMetrics struct {
 	reqSeconds *metrics.HistogramVec // route
 	responses  *metrics.CounterVec   // route, status
 	draining   *metrics.Gauge
+	queueDepth *metrics.Gauge
+	queueWait  *metrics.Histogram
 }
 
 func newServiceMetrics(r *metrics.Registry) serviceMetrics {
@@ -42,6 +44,10 @@ func newServiceMetrics(r *metrics.Registry) serviceMetrics {
 			"responses by route and status code", "route", "status"),
 		draining: r.Gauge("bigfoot_http_draining",
 			"1 while the server refuses new sessions (graceful shutdown)"),
+		queueDepth: r.Gauge("bigfoot_http_queue_depth",
+			"sessions waiting in the admission queue right now"),
+		queueWait: r.Histogram("bigfoot_http_queue_wait_seconds",
+			"time sessions spent in the admission queue before a verdict (admission, rejection, or expiry)", nil),
 	}
 }
 
@@ -50,9 +56,10 @@ func newServiceMetrics(r *metrics.Registry) serviceMetrics {
 // context so they can attach dispositions (cache outcome, trace label)
 // that the access-log line then reports.
 type requestInfo struct {
-	id    string
-	cache string // "hit" / "miss"; empty when the request never ran
-	trace string // trace subdirectory label; empty when not tracing
+	id        string
+	cache     string        // "hit" / "miss"; empty when the request never ran
+	trace     string        // trace subdirectory label; empty when not tracing
+	queueWait time.Duration // time spent in the admission queue; 0 = admitted at once
 }
 
 type requestInfoKey struct{}
@@ -158,6 +165,9 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		if ri.trace != "" {
 			attrs = append(attrs, slog.String("trace", ri.trace))
+		}
+		if ri.queueWait > 0 {
+			attrs = append(attrs, slog.Duration("queue_wait", ri.queueWait.Round(time.Microsecond)))
 		}
 		s.log.LogAttrs(r.Context(), lvl, "request", attrs...)
 	}
